@@ -1,0 +1,40 @@
+//! Criterion bench for the §IV.C walk-direction ablation: one top-down
+//! two-phase walk vs one bottom-up GKMS walk on the dense complemented
+//! query log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soc_bench::figs::real_setup;
+use soc_bench::harness::Scale;
+use soc_itemsets::{bottom_up_walk, top_down_walk, ComplementedLog};
+use std::hint::black_box;
+
+fn bench_walks(c: &mut Criterion) {
+    let (log, _) = real_setup(Scale::Quick);
+    let oracle = ComplementedLog::new(&log);
+    let mut group = c.benchmark_group("walk_direction");
+
+    for threshold in [5usize, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("top_down", threshold),
+            &threshold,
+            |b, &r| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(top_down_walk(&oracle, r, &mut rng)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bottom_up", threshold),
+            &threshold,
+            |b, &r| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(bottom_up_walk(&oracle, r, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

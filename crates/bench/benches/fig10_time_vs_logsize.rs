@@ -1,0 +1,51 @@
+//! Criterion bench for Fig 10: solve time vs query-log size (m = 5).
+//! ILP (paper-verbatim) only up to 1000 queries; MaxFreqItemSets and the
+//! greedies across the full range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_bench::figs::synthetic_setup;
+use soc_bench::harness::Scale;
+use soc_core::{
+    ConsumeAttr, ConsumeQueries, IlpSolver, MfiPreprocessed, MfiSolver, SocAlgorithm,
+    SocInstance,
+};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let m = 5;
+    let mut group = c.benchmark_group("fig10_log_size");
+    group.sample_size(10);
+
+    for s in [200usize, 600, 1000, 2000] {
+        let (log, cars) = synthetic_setup(Scale::Quick, s, 32);
+        let car = &cars[0];
+        let inst = SocInstance::new(&log, car, m);
+
+        if s <= 1000 {
+            let ilp = IlpSolver::verbatim();
+            group.bench_with_input(BenchmarkId::new("ILP", s), &s, |b, _| {
+                b.iter(|| black_box(ilp.solve(&inst)))
+            });
+        }
+
+        let mfi = MfiSolver::default();
+        let mut pre = MfiPreprocessed::default();
+        let _ = mfi.solve_preprocessed(&mut pre, &inst);
+        group.bench_with_input(BenchmarkId::new("MaxFreqItemSets_warm", s), &s, |b, _| {
+            b.iter(|| black_box(mfi.solve_preprocessed(&mut pre, &inst)))
+        });
+
+        // ConsumeQueries re-scans the workload per picked query — the
+        // paper singles it out as the slowest greedy; ConsumeAttr is the
+        // fast baseline.
+        for greedy in [&ConsumeAttr as &dyn SocAlgorithm, &ConsumeQueries] {
+            group.bench_with_input(BenchmarkId::new(greedy.name(), s), &s, |b, _| {
+                b.iter(|| black_box(greedy.solve(&inst)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

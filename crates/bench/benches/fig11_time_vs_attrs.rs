@@ -1,0 +1,36 @@
+//! Criterion bench for Fig 11: the two optimal algorithms vs the number
+//! of attributes M (200 queries, m = 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_bench::figs::synthetic_setup;
+use soc_bench::harness::Scale;
+use soc_core::{IlpSolver, MfiSolver, SocAlgorithm, SocInstance};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let m = 5;
+    let mut group = c.benchmark_group("fig11_attr_count");
+    group.sample_size(10);
+
+    for width in [16usize, 32, 48, 64] {
+        let (log, cars) = synthetic_setup(Scale::Quick, 200, width);
+        let car = &cars[0];
+        let inst = SocInstance::new(&log, car, m);
+
+        let ilp = IlpSolver::verbatim();
+        group.bench_with_input(BenchmarkId::new("ILP", width), &width, |b, _| {
+            b.iter(|| black_box(ilp.solve(&inst)))
+        });
+
+        let mfi = MfiSolver::default();
+        group.bench_with_input(
+            BenchmarkId::new("MaxFreqItemSets_cold", width),
+            &width,
+            |b, _| b.iter(|| black_box(mfi.solve(&inst))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for Fig 6: per-algorithm solve time on the real-like
+//! workload (185 queries × 32 attributes) at representative budgets.
+//! The full m-sweep lives in the `figures` binary; this bench gives
+//! statistically rigorous timings at m ∈ {4, 7, 10}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_bench::figs::real_setup;
+use soc_bench::harness::Scale;
+use soc_core::{
+    ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, MfiPreprocessed, MfiSolver,
+    SocAlgorithm, SocInstance,
+};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let (log, cars) = real_setup(Scale::Quick);
+    let car = &cars[0];
+    let mut group = c.benchmark_group("fig6_real_workload");
+    group.sample_size(10);
+
+    for m in [4usize, 7, 10] {
+        let inst = SocInstance::new(&log, car, m);
+
+        let ilp = IlpSolver::verbatim();
+        group.bench_with_input(BenchmarkId::new("ILP", m), &m, |b, _| {
+            b.iter(|| black_box(ilp.solve(&inst)))
+        });
+
+        let pruned = IlpSolver::default();
+        group.bench_with_input(BenchmarkId::new("ILP_pruned", m), &m, |b, _| {
+            b.iter(|| black_box(pruned.solve(&inst)))
+        });
+
+        let mfi = MfiSolver::default();
+        let mut pre = MfiPreprocessed::default();
+        let _ = mfi.solve_preprocessed(&mut pre, &inst); // prime
+        group.bench_with_input(BenchmarkId::new("MaxFreqItemSets_warm", m), &m, |b, _| {
+            b.iter(|| black_box(mfi.solve_preprocessed(&mut pre, &inst)))
+        });
+
+        for greedy in [
+            &ConsumeAttr as &dyn SocAlgorithm,
+            &ConsumeAttrCumul,
+            &ConsumeQueries,
+        ] {
+            group.bench_with_input(BenchmarkId::new(greedy.name(), m), &m, |b, _| {
+                b.iter(|| black_box(greedy.solve(&inst)))
+            });
+        }
+    }
+    group.finish();
+
+    // Cold solve (mining included) once, at m = 7 — slow, so few samples.
+    let mut cold = c.benchmark_group("fig6_cold_preprocessing");
+    cold.sample_size(10);
+    let inst = SocInstance::new(&log, car, 7);
+    let mfi = MfiSolver::default();
+    cold.bench_function("MaxFreqItemSets_cold_m7", |b| {
+        b.iter(|| black_box(mfi.solve(&inst)))
+    });
+    cold.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

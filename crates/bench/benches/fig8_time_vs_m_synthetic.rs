@@ -1,0 +1,42 @@
+//! Criterion bench for Fig 8: solve time on the 2000-query synthetic
+//! workload (ILP omitted, exactly as in the paper). Warm MaxFreqItemSets
+//! vs the three greedies at m ∈ {4, 7, 10}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_bench::figs::synthetic_setup;
+use soc_bench::harness::Scale;
+use soc_core::{
+    ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, MfiPreprocessed, MfiSolver, SocAlgorithm,
+    SocInstance,
+};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let (log, cars) = synthetic_setup(Scale::Quick, 2000, 32);
+    let car = &cars[0];
+    let mut group = c.benchmark_group("fig8_synthetic_2000");
+    group.sample_size(10);
+
+    let mfi = MfiSolver::default();
+    for m in [4usize, 7, 10] {
+        let inst = SocInstance::new(&log, car, m);
+        let mut pre = MfiPreprocessed::default();
+        let _ = mfi.solve_preprocessed(&mut pre, &inst);
+        group.bench_with_input(BenchmarkId::new("MaxFreqItemSets_warm", m), &m, |b, _| {
+            b.iter(|| black_box(mfi.solve_preprocessed(&mut pre, &inst)))
+        });
+        for greedy in [
+            &ConsumeAttr as &dyn SocAlgorithm,
+            &ConsumeAttrCumul,
+            &ConsumeQueries,
+        ] {
+            group.bench_with_input(BenchmarkId::new(greedy.name(), m), &m, |b, _| {
+                b.iter(|| black_box(greedy.solve(&inst)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates the paper's evaluation figures and the ablations as TSV.
+//!
+//! Usage:
+//!   figures [--quick] [experiment ...]
+//!
+//! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 walk threshold stopping
+//! apriori preprocess gap all (default: all)
+//!
+//! `--quick` averages over 10 cars and truncates sweeps; the default
+//! (full) scale matches the paper's 100-car averages.
+
+use soc_bench::harness::{Scale, Table};
+use soc_bench::{ablations, figs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() {
+        wanted = vec!["all"];
+    }
+
+    type Experiment = fn(Scale) -> Table;
+    let catalog: Vec<(&str, Experiment)> = vec![
+        ("fig6", figs::fig6),
+        ("fig7", figs::fig7),
+        ("fig8", figs::fig8),
+        ("fig9", figs::fig9),
+        ("fig10", figs::fig10),
+        ("fig11", figs::fig11),
+        ("walk", ablations::walk_direction),
+        ("threshold", ablations::threshold_strategies),
+        ("stopping", ablations::stopping_rule),
+        ("apriori", ablations::apriori_explosion),
+        ("preprocess", ablations::preprocessing),
+        ("gap", ablations::greedy_gap),
+        ("dedup", ablations::deduplication),
+        ("miner", ablations::miner_comparison),
+        ("drift", ablations::log_drift),
+    ];
+
+    let run_all = wanted.contains(&"all");
+    let mut ran = 0;
+    for (name, f) in &catalog {
+        if run_all || wanted.contains(name) {
+            eprintln!("running {name} ({scale:?}) …");
+            let table = f(scale);
+            println!("{}", table.to_tsv());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment; available: {} all",
+            catalog
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared experiment harness: timing, series tables, and TSV output.
+
+use std::time::{Duration, Instant};
+
+/// A results table: one labelled row per x-value, one column per series.
+/// Printed as TSV so results can be piped straight into a plotting tool.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment title (e.g. `"Fig 6 — execution time vs m"`).
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// Series (column) names.
+    pub series: Vec<String>,
+    /// Rows: x value and one cell per series.
+    pub rows: Vec<(String, Vec<Cell>)>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+/// A table cell.
+#[derive(Clone, Copy, Debug)]
+pub enum Cell {
+    /// Wall-clock duration (printed in milliseconds).
+    Time(Duration),
+    /// A count or average.
+    Value(f64),
+    /// Not measured (e.g. ILP beyond 1000 queries — Fig 10's missing
+    /// points).
+    Missing,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the series count.
+    pub fn push_row(&mut self, x: impl ToString, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.series.len(), "row arity mismatch");
+        self.rows.push((x.to_string(), cells));
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders as TSV with a `#` comment header.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push('\t');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (x, cells) in &self.rows {
+            out.push_str(x);
+            for c in cells {
+                out.push('\t');
+                match c {
+                    Cell::Time(d) => out.push_str(&format!("{:.3}", d.as_secs_f64() * 1e3)),
+                    Cell::Value(v) => out.push_str(&format!("{v:.3}")),
+                    Cell::Missing => out.push('-'),
+                }
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out
+    }
+}
+
+/// Times a closure.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let v = f();
+    (t0.elapsed(), v)
+}
+
+/// Accumulates durations and values across repetitions.
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    total_time: Duration,
+    total_value: f64,
+    n: u32,
+}
+
+impl Accumulator {
+    /// Records one repetition.
+    pub fn add(&mut self, time: Duration, value: f64) {
+        self.total_time += time;
+        self.total_value += value;
+        self.n += 1;
+    }
+
+    /// Mean duration.
+    pub fn mean_time(&self) -> Duration {
+        if self.n == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.n
+        }
+    }
+
+    /// Mean value.
+    pub fn mean_value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.total_value / f64::from(self.n)
+        }
+    }
+}
+
+/// Experiment scale: `Quick` for smoke runs (CI / laptops), `Full` for
+/// paper-comparable sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Few repetitions, truncated sweeps.
+    Quick,
+    /// Paper-comparable averages (100 cars where the paper uses 100).
+    Full,
+}
+
+impl Scale {
+    /// Number of to-be-advertised cars to average over (paper: 100).
+    pub fn cars(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 100,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_rendering() {
+        let mut t = Table::new("Demo", "m", vec!["a".into(), "b".into()]);
+        t.push_row(3, vec![Cell::Value(1.5), Cell::Missing]);
+        t.push_row(4, vec![Cell::Time(Duration::from_millis(12)), Cell::Value(2.0)]);
+        t.note("note");
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("# Demo"));
+        assert!(tsv.contains("m\ta\tb"));
+        assert!(tsv.contains("3\t1.500\t-"));
+        assert!(tsv.contains("4\t12.000\t2.000"));
+        assert!(tsv.ends_with("# note\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "x", vec!["a".into()]);
+        t.push_row(1, vec![]);
+    }
+
+    #[test]
+    fn accumulator_means() {
+        let mut a = Accumulator::default();
+        a.add(Duration::from_millis(10), 2.0);
+        a.add(Duration::from_millis(30), 4.0);
+        assert_eq!(a.mean_time(), Duration::from_millis(20));
+        assert!((a.mean_value() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,13 @@
+//! # soc-bench
+//!
+//! Benchmark harness for the `standout` workspace: regenerates every
+//! figure of the ICDE 2008 evaluation (§VII) plus ablations for the
+//! design choices of §IV.C. See the `figures` binary for the CLI and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablations;
+pub mod figs;
+pub mod harness;

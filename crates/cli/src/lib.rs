@@ -1,0 +1,495 @@
+//! # soc-cli
+//!
+//! Command-line front-end for the `standout` workspace. The command
+//! logic lives in this library (with file access injected) so that every
+//! path is unit-testable; `src/main.rs` is a thin binary shim.
+//!
+//! ```text
+//! soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup]
+//! soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
+//! soc per-attr --log FILE --tuple BITS [--algo NAME]
+//! soc stats    --log FILE
+//! soc generate real|synthetic|cars [--queries N] [--attrs M] [--cars N] [--seed S]
+//! ```
+//!
+//! Query logs and databases use the text format of [`soc_data::io`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt;
+
+use soc_core::variants::data_variant::solve_soc_cb_d;
+use soc_core::variants::per_attribute::solve_per_attribute;
+use soc_core::{
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch,
+    MfiSolver, SocAlgorithm, SocInstance,
+};
+use soc_data::{io as socio, AttrId, QueryLog, Schema, Tuple};
+use soc_workload::{
+    generate_cars, generate_real_workload, generate_synthetic_workload, CarsConfig,
+    RealWorkloadConfig, SyntheticConfig,
+};
+
+/// A CLI failure: human-readable message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message for stderr.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime).
+    pub code: i32,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError {
+        message: format!("{}\n\n{USAGE}", message.into()),
+        code: 2,
+    }
+}
+
+fn runtime(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 1,
+    }
+}
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+usage:
+  soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup]
+  soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
+  soc per-attr --log FILE --tuple BITS [--algo NAME]
+  soc stats    --log FILE
+  soc generate real|synthetic|cars [--queries N] [--attrs M] [--cars N] [--seed S]
+
+algorithms: brute ilp mfi mfi-det attr cumul queries local (default: mfi)";
+
+/// Abstraction over the filesystem so tests can inject content.
+pub trait FileSource {
+    /// Reads the entire file as UTF-8 text.
+    fn read(&self, path: &str) -> Result<String, String>;
+}
+
+/// Reads from the real filesystem.
+pub struct FsSource;
+
+impl FileSource for FsSource {
+    fn read(&self, path: &str) -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Simple flag/value argument cursor.
+struct Args<'a> {
+    items: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Args<'a> {
+    fn new(items: &'a [String]) -> Self {
+        Self {
+            used: vec![false; items.len()],
+            items,
+        }
+    }
+
+    /// The value following `flag`, if present.
+    fn value(&mut self, flag: &str) -> Result<Option<&'a str>, CliError> {
+        for i in 0..self.items.len() {
+            if self.items[i] == flag {
+                self.used[i] = true;
+                let v = self
+                    .items
+                    .get(i + 1)
+                    .ok_or_else(|| usage(format!("{flag} needs a value")))?;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn required(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.value(flag)?
+            .ok_or_else(|| usage(format!("missing required {flag}")))
+    }
+
+    /// A bare boolean flag.
+    fn flag(&mut self, flag: &str) -> bool {
+        for i in 0..self.items.len() {
+            if self.items[i] == flag {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Errors if any argument was never consumed.
+    fn finish(self) -> Result<(), CliError> {
+        for (item, used) in self.items.iter().zip(&self.used) {
+            if !used {
+                return Err(usage(format!("unrecognized argument {item:?}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
+    s.parse()
+        .map_err(|_| usage(format!("{what} must be an integer, got {s:?}")))
+}
+
+fn algorithm(name: &str) -> Result<Box<dyn SocAlgorithm>, CliError> {
+    Ok(match name {
+        "brute" => Box::new(BruteForce),
+        "ilp" => Box::new(IlpSolver::default()),
+        "mfi" => Box::new(MfiSolver::default()),
+        "mfi-det" => Box::new(MfiSolver::deterministic()),
+        "attr" => Box::new(ConsumeAttr),
+        "cumul" => Box::new(ConsumeAttrCumul),
+        "queries" => Box::new(ConsumeQueries),
+        "local" => Box::new(LocalSearch::default()),
+        other => return Err(usage(format!("unknown algorithm {other:?}"))),
+    })
+}
+
+fn parse_tuple(bits: &str, schema: &Schema) -> Result<Tuple, CliError> {
+    let t = Tuple::from_bitstring(bits)
+        .ok_or_else(|| usage(format!("--tuple must be a 0/1 string, got {bits:?}")))?;
+    if t.universe() != schema.len() {
+        return Err(runtime(format!(
+            "tuple width {} does not match the {}-attribute schema",
+            t.universe(),
+            schema.len()
+        )));
+    }
+    Ok(t)
+}
+
+fn describe(retained: &soc_data::AttrSet, schema: &Schema) -> String {
+    retained
+        .iter()
+        .map(|i| schema.name(AttrId(i as u32)).to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Executes a CLI invocation; returns stdout text.
+pub fn run(args: &[String], files: &dyn FileSource) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage("no command given"));
+    };
+    match command.as_str() {
+        "solve" => cmd_solve(rest, files),
+        "dominate" => cmd_dominate(rest, files),
+        "per-attr" => cmd_per_attr(rest, files),
+        "stats" => cmd_stats(rest, files),
+        "generate" => cmd_generate(rest),
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn load_log(args: &mut Args<'_>, files: &dyn FileSource) -> Result<QueryLog, CliError> {
+    let path = args.required("--log")?;
+    let text = files.read(path).map_err(runtime)?;
+    socio::parse_query_log(&text).map_err(|e| runtime(format!("{path}: {e}")))
+}
+
+fn cmd_solve(rest: &[String], files: &dyn FileSource) -> Result<String, CliError> {
+    let mut args = Args::new(rest);
+    let mut log = load_log(&mut args, files)?;
+    let tuple_bits = args.required("--tuple")?;
+    let m = parse_usize(args.required("-m")?, "-m")?;
+    let algo = algorithm(args.value("--algo")?.unwrap_or("mfi"))?;
+    if args.flag("--dedup") {
+        log = log.deduplicate();
+    }
+    args.finish()?;
+
+    let tuple = parse_tuple(tuple_bits, log.schema())?;
+    let inst = SocInstance::new(&log, &tuple, m);
+    let sol = algo.solve(&inst);
+    Ok(format!(
+        "algorithm: {}\nretained:  {}\nbits:      {}\nsatisfied: {} of {} (weight)\n",
+        algo.name(),
+        describe(&sol.retained, log.schema()),
+        sol.retained.to_bitstring(),
+        sol.satisfied,
+        log.total_weight(),
+    ))
+}
+
+fn cmd_dominate(rest: &[String], files: &dyn FileSource) -> Result<String, CliError> {
+    let mut args = Args::new(rest);
+    let path = args.required("--db")?;
+    let text = files.read(path).map_err(runtime)?;
+    let db = socio::parse_database(&text).map_err(|e| runtime(format!("{path}: {e}")))?;
+    let tuple_bits = args.required("--tuple")?;
+    let m = parse_usize(args.required("-m")?, "-m")?;
+    let algo = algorithm(args.value("--algo")?.unwrap_or("mfi"))?;
+    args.finish()?;
+
+    let tuple = parse_tuple(tuple_bits, db.schema())?;
+    let r = solve_soc_cb_d(algo.as_ref(), &db, &tuple, m);
+    Ok(format!(
+        "algorithm: {}\nretained:  {}\nbits:      {}\ndominated: {} of {} tuples\n",
+        algo.name(),
+        describe(&r.solution.retained, db.schema()),
+        r.solution.retained.to_bitstring(),
+        r.dominated,
+        db.len(),
+    ))
+}
+
+fn cmd_per_attr(rest: &[String], files: &dyn FileSource) -> Result<String, CliError> {
+    let mut args = Args::new(rest);
+    let log = load_log(&mut args, files)?;
+    let tuple_bits = args.required("--tuple")?;
+    let algo = algorithm(args.value("--algo")?.unwrap_or("mfi"))?;
+    args.finish()?;
+
+    let tuple = parse_tuple(tuple_bits, log.schema())?;
+    let best = solve_per_attribute(algo.as_ref(), &log, &tuple);
+    Ok(format!(
+        "algorithm: {}\nretained:  {}\nbits:      {}\nsatisfied: {} (weight)\nper-attr:  {:.3} satisfied weight per retained attribute\n",
+        algo.name(),
+        describe(&best.solution.retained, log.schema()),
+        best.solution.retained.to_bitstring(),
+        best.solution.satisfied,
+        best.ratio,
+    ))
+}
+
+fn cmd_stats(rest: &[String], files: &dyn FileSource) -> Result<String, CliError> {
+    let mut args = Args::new(rest);
+    let log = load_log(&mut args, files)?;
+    args.finish()?;
+    let s = log.stats();
+    let dedup = log.deduplicate();
+    let freq = log.attribute_frequencies();
+    let mut top: Vec<(usize, usize)> = freq.iter().copied().enumerate().collect();
+    top.sort_by_key(|&(i, f)| (std::cmp::Reverse(f), i));
+    let mut out = format!(
+        "queries:        {} ({} distinct, total weight {})\nattributes:     {}\nquery length:   min {} / mean {:.2} / max {}\ntop attributes:\n",
+        log.len(),
+        dedup.len(),
+        log.total_weight(),
+        s.num_attrs,
+        s.min_query_len,
+        s.mean_query_len,
+        s.max_query_len,
+    );
+    for &(i, f) in top.iter().take(5) {
+        out.push_str(&format!(
+            "  {:<20} {}\n",
+            log.schema().name(AttrId(i as u32)),
+            f
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_generate(rest: &[String]) -> Result<String, CliError> {
+    let Some((kind, rest)) = rest.split_first() else {
+        return Err(usage("generate needs a kind: real, synthetic, or cars"));
+    };
+    let mut args = Args::new(rest);
+    let seed = args.value("--seed")?.map(|s| parse_usize(s, "--seed")).transpose()?;
+    match kind.as_str() {
+        "real" => {
+            let mut cfg = RealWorkloadConfig::default();
+            if let Some(n) = args.value("--queries")? {
+                cfg.num_queries = parse_usize(n, "--queries")?;
+            }
+            if let Some(s) = seed {
+                cfg.seed = s as u64;
+            }
+            args.finish()?;
+            Ok(socio::write_query_log(&generate_real_workload(&cfg)))
+        }
+        "synthetic" => {
+            let mut cfg = SyntheticConfig::default();
+            if let Some(n) = args.value("--queries")? {
+                cfg.num_queries = parse_usize(n, "--queries")?;
+            }
+            if let Some(n) = args.value("--attrs")? {
+                cfg.num_attrs = parse_usize(n, "--attrs")?;
+            }
+            if let Some(s) = seed {
+                cfg.seed = s as u64;
+            }
+            args.finish()?;
+            Ok(socio::write_query_log(&generate_synthetic_workload(&cfg)))
+        }
+        "cars" => {
+            let mut cfg = CarsConfig {
+                num_cars: 1000,
+                ..Default::default()
+            };
+            if let Some(n) = args.value("--cars")? {
+                cfg.num_cars = parse_usize(n, "--cars")?;
+            }
+            if let Some(s) = seed {
+                cfg.seed = s as u64;
+            }
+            args.finish()?;
+            Ok(socio::write_database(&generate_cars(&cfg).db))
+        }
+        other => Err(usage(format!("unknown generate kind {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MemFiles(HashMap<&'static str, &'static str>);
+
+    impl FileSource for MemFiles {
+        fn read(&self, path: &str) -> Result<String, String> {
+            self.0
+                .get(path)
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{path}: not found"))
+        }
+    }
+
+    const FIG1_LOG: &str = "\
+attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
+110000
+100100
+010100
+000101
+001010
+";
+
+    const FIG1_DB: &str = "\
+attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
+010100
+011000
+100111
+110101
+110000
+010100
+001100
+";
+
+    fn files() -> MemFiles {
+        MemFiles(HashMap::from([("log.txt", FIG1_LOG), ("db.txt", FIG1_DB)]))
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, &files()).expect("command should succeed")
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, &files()).expect_err("command should fail")
+    }
+
+    #[test]
+    fn solve_fig1() {
+        for algo in ["brute", "ilp", "mfi", "mfi-det", "attr", "cumul", "queries", "local"] {
+            let out = run_ok(&[
+                "solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--algo", algo,
+            ]);
+            assert!(out.contains("satisfied: 3 of 5"), "{algo}: {out}");
+        }
+        // Default algorithm retains the known optimum.
+        let out = run_ok(&["solve", "--log", "log.txt", "--tuple", "110111", "-m", "3"]);
+        assert!(out.contains("ac, four_door, power_doors"), "{out}");
+        assert!(out.contains("bits:      110100"), "{out}");
+    }
+
+    #[test]
+    fn solve_with_dedup_flag() {
+        let out = run_ok(&[
+            "solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--dedup",
+        ]);
+        assert!(out.contains("satisfied: 3 of 5"));
+    }
+
+    #[test]
+    fn dominate_fig1() {
+        let out = run_ok(&[
+            "dominate", "--db", "db.txt", "--tuple", "110111", "-m", "4", "--algo", "brute",
+        ]);
+        assert!(out.contains("dominated: 4 of 7"), "{out}");
+        assert!(out.contains("bits:      110101"), "{out}");
+    }
+
+    #[test]
+    fn per_attr_reports_ratio() {
+        let out = run_ok(&["per-attr", "--log", "log.txt", "--tuple", "110111"]);
+        assert!(out.contains("per-attr:"), "{out}");
+    }
+
+    #[test]
+    fn stats_summary() {
+        let out = run_ok(&["stats", "--log", "log.txt"]);
+        assert!(out.contains("queries:        5 (5 distinct, total weight 5)"), "{out}");
+        assert!(out.contains("power_doors"), "{out}");
+    }
+
+    #[test]
+    fn generate_roundtrips_through_parser() {
+        let out = run_ok(&["generate", "synthetic", "--queries", "25", "--attrs", "10"]);
+        let log = socio::parse_query_log(&out).unwrap();
+        assert_eq!(log.len(), 25);
+        assert_eq!(log.num_attrs(), 10);
+
+        let out = run_ok(&["generate", "cars", "--cars", "12"]);
+        let db = socio::parse_database(&out).unwrap();
+        assert_eq!(db.len(), 12);
+        assert_eq!(db.num_attrs(), 32);
+
+        let out = run_ok(&["generate", "real", "--queries", "30", "--seed", "9"]);
+        let log = socio::parse_query_log(&out).unwrap();
+        assert_eq!(log.len(), 30);
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert_eq!(run_err(&[]).code, 2);
+        assert_eq!(run_err(&["frobnicate"]).code, 2);
+        assert_eq!(run_err(&["solve", "--log", "log.txt"]).code, 2); // missing --tuple
+        assert_eq!(
+            run_err(&["solve", "--log", "log.txt", "--tuple", "110111", "-m", "x"]).code,
+            2
+        );
+        assert_eq!(
+            run_err(&["solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--bogus"])
+                .code,
+            2
+        );
+        // Runtime errors: missing file, width mismatch.
+        assert_eq!(
+            run_err(&["solve", "--log", "nope.txt", "--tuple", "1", "-m", "1"]).code,
+            1
+        );
+        assert_eq!(
+            run_err(&["solve", "--log", "log.txt", "--tuple", "11", "-m", "1"]).code,
+            1
+        );
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_ok(&["help"]);
+        assert!(out.contains("usage:"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Binary shim for the `soc` command; all logic lives in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match soc_cli::run(&args, &soc_cli::FsSource) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

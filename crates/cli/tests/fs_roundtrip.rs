@@ -1,0 +1,74 @@
+//! End-to-end CLI test against the real filesystem: generate a workload
+//! to a file, then solve and inspect it through `FsSource`.
+
+use soc_cli::{run, FsSource};
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("soc-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_solve_stats_via_files() {
+    let log_path = tmp_path("buyers.log");
+
+    // generate → file
+    let out = run(
+        &[
+            "generate".into(),
+            "real".into(),
+            "--queries".into(),
+            "40".into(),
+            "--seed".into(),
+            "5".into(),
+        ],
+        &FsSource,
+    )
+    .expect("generate succeeds");
+    std::fs::write(&log_path, out).expect("write workload");
+
+    let log_arg = log_path.to_str().unwrap().to_string();
+
+    // stats over the file
+    let stats = run(
+        &["stats".into(), "--log".into(), log_arg.clone()],
+        &FsSource,
+    )
+    .expect("stats succeeds");
+    assert!(stats.contains("queries:        40"), "{stats}");
+
+    // solve over the file with a fully-loaded tuple
+    let tuple = "1".repeat(32);
+    let solved = run(
+        &[
+            "solve".into(),
+            "--log".into(),
+            log_arg.clone(),
+            "--tuple".into(),
+            tuple,
+            "-m".into(),
+            "6".into(),
+            "--algo".into(),
+            "mfi".into(),
+            "--dedup".into(),
+        ],
+        &FsSource,
+    )
+    .expect("solve succeeds");
+    assert!(solved.contains("satisfied:"), "{solved}");
+
+    // missing file is a runtime error, not a panic
+    let err = run(
+        &[
+            "stats".into(),
+            "--log".into(),
+            tmp_path("missing.log").to_str().unwrap().into(),
+        ],
+        &FsSource,
+    )
+    .expect_err("missing file fails");
+    assert_eq!(err.code, 1);
+
+    std::fs::remove_file(&log_path).ok();
+}

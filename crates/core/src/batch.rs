@@ -1,0 +1,122 @@
+//! Parallel batch solving: score many candidate tuples against one query
+//! log. This is the deployment shape of a seller-side recommendation
+//! service — one workload, a stream of new listings — and the shape the
+//! paper's experiments take (averages over 100 randomly selected cars).
+
+use soc_data::{QueryLog, Tuple};
+
+use crate::{SocAlgorithm, SocInstance, Solution};
+
+/// Solves one instance per tuple, in parallel over `threads` scoped
+/// worker threads (input order is preserved in the output).
+///
+/// Algorithms are shared immutably across threads; use
+/// [`crate::SharedMfi`] to share the MFI preprocessing cache as well.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn solve_batch<A>(
+    algorithm: &A,
+    log: &QueryLog,
+    tuples: &[Tuple],
+    m: usize,
+    threads: usize,
+) -> Vec<Solution>
+where
+    A: SocAlgorithm + Sync + ?Sized,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if tuples.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(tuples.len());
+    let mut results: Vec<Option<Solution>> = vec![None; tuples.len()];
+    let chunk = tuples.len().div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        for (slot_chunk, tuple_chunk) in results.chunks_mut(chunk).zip(tuples.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, tuple) in slot_chunk.iter_mut().zip(tuple_chunk) {
+                    let inst = SocInstance::new(log, tuple, m);
+                    *slot = Some(algorithm.solve(&inst));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|s| s.expect("every slot is filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForce, ConsumeAttr, MfiSolver, SharedMfi};
+    use soc_data::{AttrSet, QueryLog};
+
+    fn setup() -> (QueryLog, Vec<Tuple>) {
+        let log = QueryLog::from_bitstrings(&[
+            "110000", "100100", "010100", "000101", "001010", "110100",
+        ])
+        .unwrap();
+        let tuples = (0..12u32)
+            .map(|i| {
+                Tuple::new(AttrSet::from_indices(
+                    6,
+                    (0..6).filter(move |&j| (i >> (j % 4)) & 1 == 1 || j == (i as usize % 6)),
+                ))
+            })
+            .collect();
+        (log, tuples)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (log, tuples) = setup();
+        for threads in [1, 2, 4, 16] {
+            let batch = solve_batch(&BruteForce, &log, &tuples, 3, threads);
+            assert_eq!(batch.len(), tuples.len());
+            for (tuple, sol) in tuples.iter().zip(&batch) {
+                let seq = BruteForce.solve(&SocInstance::new(&log, tuple, 3));
+                assert_eq!(sol.satisfied, seq.satisfied, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_mfi_cache_is_safe_and_exact() {
+        let (log, tuples) = setup();
+        let shared = SharedMfi::new(MfiSolver::default());
+        shared.prime(&log);
+        let batch = solve_batch(&shared, &log, &tuples, 3, 4);
+        for (tuple, sol) in tuples.iter().zip(&batch) {
+            let want = BruteForce.solve(&SocInstance::new(&log, tuple, 3));
+            assert_eq!(sol.satisfied, want.satisfied);
+        }
+        assert!(shared.cached_thresholds() >= 1);
+    }
+
+    #[test]
+    fn greedy_batch() {
+        let (log, tuples) = setup();
+        let batch = solve_batch(&ConsumeAttr, &log, &tuples, 2, 3);
+        for sol in &batch {
+            assert!(sol.retained.count() <= 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (log, _) = setup();
+        assert!(solve_batch(&BruteForce, &log, &[], 3, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_panics() {
+        let (log, tuples) = setup();
+        let _ = solve_batch(&BruteForce, &log, &tuples, 3, 0);
+    }
+}

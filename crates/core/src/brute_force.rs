@@ -1,0 +1,78 @@
+//! `BruteForce-SOC-CB-QL` (§IV.A): enumerate all `C(|t|, m)` compressions.
+//!
+//! Exponential but exact — the ground-truth oracle every other algorithm
+//! is validated against, and feasible whenever `C(|t|, m)` is modest.
+
+use crate::{SocAlgorithm, SocInstance, Solution};
+
+/// Exhaustive enumeration over every m-compression of the tuple.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BruteForce;
+
+impl SocAlgorithm for BruteForce {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn solve(&self, instance: &SocInstance<'_>) -> Solution {
+        let mut best: Option<Solution> = None;
+        for candidate in instance.tuple.compressions(instance.m) {
+            let satisfied = instance.log.satisfied_count(&candidate);
+            let better = best.as_ref().is_none_or(|b| satisfied > b.satisfied);
+            if better {
+                best = Some(Solution {
+                    retained: candidate.into_attrs(),
+                    satisfied,
+                });
+            }
+        }
+        best.expect("compressions() always yields at least one candidate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_data::{QueryLog, Tuple};
+
+    #[test]
+    fn solves_fig1() {
+        let log =
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
+                .unwrap();
+        let t = Tuple::from_bitstring("110111").unwrap();
+        let sol = BruteForce.solve(&SocInstance::new(&log, &t, 3));
+        assert_eq!(sol.satisfied, 3);
+        assert_eq!(sol.retained.to_indices(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn m_zero_retains_nothing() {
+        let log = QueryLog::from_bitstrings(&["10", "01"]).unwrap();
+        let t = Tuple::from_bitstring("11").unwrap();
+        let sol = BruteForce.solve(&SocInstance::new(&log, &t, 0));
+        assert_eq!(sol.retained.count(), 0);
+        assert_eq!(sol.satisfied, 0);
+    }
+
+    #[test]
+    fn m_at_least_tuple_size_keeps_everything() {
+        let log = QueryLog::from_bitstrings(&["1100", "0011", "1001"]).unwrap();
+        let t = Tuple::from_bitstring("1111").unwrap();
+        let sol = BruteForce.solve(&SocInstance::new(&log, &t, 9));
+        assert_eq!(sol.satisfied, 3);
+        assert_eq!(sol.retained.count(), 4);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = QueryLog::from_bitstrings(&[]).unwrap();
+        let t = Tuple::from_bitstring("").unwrap();
+        let sol = BruteForce.solve(&SocInstance::new(&log, &t, 1));
+        assert_eq!(sol.satisfied, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Problem SOC-CB-QL: instances, solutions, and the algorithm trait.
+
+use std::fmt;
+
+use soc_data::{AttrSet, QueryLog, Tuple};
+
+/// An instance of problem **SOC-CB-QL** (§II.A): given a query log `Q`
+/// with conjunctive Boolean retrieval semantics, a new tuple `t`, and an
+/// integer `m`, compute a compressed tuple `t'` retaining at most `m`
+/// attributes such that the number of queries retrieving `t'` is maximal.
+#[derive(Clone, Copy)]
+pub struct SocInstance<'a> {
+    /// The query log (the workload to be visible to).
+    pub log: &'a QueryLog,
+    /// The new tuple to advertise.
+    pub tuple: &'a Tuple,
+    /// Attribute budget.
+    pub m: usize,
+}
+
+impl<'a> SocInstance<'a> {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if the tuple's universe differs from the log's width.
+    pub fn new(log: &'a QueryLog, tuple: &'a Tuple, m: usize) -> Self {
+        assert_eq!(
+            tuple.universe(),
+            log.num_attrs(),
+            "tuple universe must match query-log width"
+        );
+        Self { log, tuple, m }
+    }
+
+    /// The effective budget: never more than the tuple's 1-count (a
+    /// compression cannot invent attributes).
+    pub fn effective_m(&self) -> usize {
+        self.m.min(self.tuple.count())
+    }
+
+    /// Objective value of a retained attribute set.
+    pub fn objective(&self, retained: &AttrSet) -> usize {
+        self.log.satisfied_count(&Tuple::new(retained.clone()))
+    }
+
+    /// Wraps a retained set into a checked [`Solution`].
+    ///
+    /// # Panics
+    /// Panics if `retained` is not a subset of the tuple or exceeds the
+    /// budget — algorithms must never produce such sets.
+    pub fn solution(&self, retained: AttrSet) -> Solution {
+        assert!(
+            retained.is_subset(self.tuple.attrs()),
+            "solution retains attributes the tuple does not have"
+        );
+        assert!(
+            retained.count() <= self.m,
+            "solution exceeds the attribute budget"
+        );
+        let satisfied = self.objective(&retained);
+        Solution {
+            retained,
+            satisfied,
+        }
+    }
+}
+
+impl fmt::Debug for SocInstance<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SocInstance")
+            .field("queries", &self.log.len())
+            .field("attrs", &self.log.num_attrs())
+            .field("m", &self.m)
+            .finish()
+    }
+}
+
+/// A (candidate) solution: the retained attributes and the number of
+/// queries the compressed tuple satisfies.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Attributes retained in the compressed tuple `t'`.
+    pub retained: AttrSet,
+    /// Number of queries of the log that retrieve `t'`.
+    pub satisfied: usize,
+}
+
+impl Solution {
+    /// The compressed tuple `t'`.
+    pub fn tuple(&self) -> Tuple {
+        Tuple::new(self.retained.clone())
+    }
+}
+
+impl fmt::Debug for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Solution(retained={}, satisfied={})",
+            self.retained, self.satisfied
+        )
+    }
+}
+
+/// A SOC-CB-QL algorithm: exact or heuristic.
+pub trait SocAlgorithm {
+    /// Short stable name used in benchmark output (matches the paper's
+    /// figure legends, e.g. `"ILP"`, `"MaxFreqItemSets"`, `"ConsumeAttr"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the algorithm guarantees optimality.
+    fn is_exact(&self) -> bool;
+
+    /// Solves the instance.
+    fn solve(&self, instance: &SocInstance<'_>) -> Solution;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> (QueryLog, Tuple) {
+        let log =
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
+                .unwrap();
+        let t = Tuple::from_bitstring("110111").unwrap();
+        (log, t)
+    }
+
+    #[test]
+    fn objective_matches_paper() {
+        let (log, t) = fig1();
+        let inst = SocInstance::new(&log, &t, 3);
+        let retained = AttrSet::from_indices(6, [0, 1, 3]);
+        assert_eq!(inst.objective(&retained), 3);
+        let sol = inst.solution(retained);
+        assert_eq!(sol.satisfied, 3);
+        assert_eq!(sol.tuple().attrs().to_bitstring(), "110100");
+    }
+
+    #[test]
+    fn effective_m_caps_at_tuple_size() {
+        let (log, t) = fig1();
+        let inst = SocInstance::new(&log, &t, 10);
+        assert_eq!(inst.effective_m(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not have")]
+    fn solution_must_be_subset() {
+        let (log, t) = fig1();
+        let inst = SocInstance::new(&log, &t, 3);
+        let _ = inst.solution(AttrSet::from_indices(6, [2])); // turbo not in t
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn solution_must_respect_budget() {
+        let (log, t) = fig1();
+        let inst = SocInstance::new(&log, &t, 2);
+        let _ = inst.solution(AttrSet::from_indices(6, [0, 1, 3]));
+    }
+}

@@ -1,0 +1,90 @@
+//! Categorical-data variant (§II.B, §V): publish `m` of the tuple's
+//! attribute *values* to maximize satisfied equality queries. Reduced
+//! exactly to SOC-CB-QL via [`soc_data::categorical::reduce_categorical`].
+
+use soc_data::categorical::{reduce_categorical, CatQuery, CatSchema, CatTuple};
+use soc_data::AttrSet;
+
+use crate::{SocAlgorithm, SocInstance, Solution};
+
+/// Result of a categorical solve.
+#[derive(Clone, Debug)]
+pub struct CategoricalSolution {
+    /// Attributes whose values should be published.
+    pub publish: AttrSet,
+    /// Number of log queries satisfied by the published subset.
+    pub satisfied: usize,
+}
+
+/// Solves the categorical variant with any SOC-CB-QL algorithm.
+pub fn solve_categorical<A: SocAlgorithm + ?Sized>(
+    algorithm: &A,
+    schema: &CatSchema,
+    queries: &[CatQuery],
+    tuple: &CatTuple,
+    m: usize,
+) -> CategoricalSolution {
+    let red = reduce_categorical(schema, queries, tuple);
+    let inst = SocInstance::new(&red.log, &red.tuple, m);
+    let Solution {
+        retained,
+        satisfied,
+    } = algorithm.solve(&inst);
+    CategoricalSolution {
+        publish: retained,
+        satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+
+    fn schema() -> CatSchema {
+        CatSchema::new([
+            ("make", vec!["honda", "toyota"]),
+            ("color", vec!["red", "blue"]),
+            ("trans", vec!["auto", "manual"]),
+            ("body", vec!["sedan", "suv"]),
+        ])
+    }
+
+    #[test]
+    fn picks_popular_compatible_conditions() {
+        let s = schema();
+        let t = CatTuple {
+            values: vec![0, 1, 0, 0], // honda, blue, auto, sedan
+        };
+        let queries = vec![
+            CatQuery { conditions: vec![Some(0), None, None, None] },   // make=honda ✓
+            CatQuery { conditions: vec![Some(0), Some(1), None, None] },// honda+blue ✓
+            CatQuery { conditions: vec![Some(1), None, None, None] },   // toyota ✗
+            CatQuery { conditions: vec![None, None, Some(0), Some(1)] },// auto+suv ✗ (body)
+            CatQuery { conditions: vec![None, None, Some(0), None] },   // auto ✓
+        ];
+        let r = solve_categorical(&BruteForce, &s, &queries, &t, 2);
+        // Publishing {make, color} satisfies queries 1 and 2 = 2;
+        // {make, trans} satisfies 1 and 5 = 2; both optimal.
+        assert_eq!(r.satisfied, 2);
+        assert_eq!(r.publish.count(), 2);
+        assert!(r.publish.contains(0));
+    }
+
+    #[test]
+    fn direct_evaluation_agrees() {
+        let s = schema();
+        let t = CatTuple { values: vec![0, 0, 1, 1] };
+        let queries = vec![
+            CatQuery { conditions: vec![Some(0), Some(0), None, None] },
+            CatQuery { conditions: vec![None, Some(0), Some(1), None] },
+            CatQuery { conditions: vec![None, None, None, Some(1)] },
+        ];
+        let r = solve_categorical(&BruteForce, &s, &queries, &t, 2);
+        let direct = queries
+            .iter()
+            .filter(|q| q.matches(&t, &r.publish))
+            .count();
+        assert_eq!(direct, r.satisfied);
+    }
+}

@@ -1,0 +1,71 @@
+//! Problem SOC-CB-D (§II.B): maximize the number of *database tuples
+//! dominated* by the compressed tuple — the variant for sellers who can
+//! see the competition but not the query log.
+//!
+//! Solved exactly as §V prescribes: "replace the query log with the
+//! database" (each competitor tuple becomes a conjunctive query; `t'`
+//! dominates it iff that query retrieves `t'`).
+
+use crate::{SocAlgorithm, SocInstance, Solution};
+use soc_data::{Database, Tuple};
+
+/// Result of the SOC-CB-D variant.
+#[derive(Clone, Debug)]
+pub struct DominationSolution {
+    /// The winning compression.
+    pub solution: Solution,
+    /// Number of database tuples dominated (equals
+    /// `solution.satisfied` by the reduction; kept for clarity).
+    pub dominated: usize,
+}
+
+/// Solves SOC-CB-D with any SOC-CB-QL algorithm via the §V reduction.
+pub fn solve_soc_cb_d<A: SocAlgorithm + ?Sized>(
+    algorithm: &A,
+    db: &Database,
+    tuple: &Tuple,
+    m: usize,
+) -> DominationSolution {
+    let log = db.as_query_log();
+    let inst = SocInstance::new(&log, tuple, m);
+    let solution = algorithm.solve(&inst);
+    let dominated = db.dominated_count(&solution.tuple());
+    debug_assert_eq!(dominated, solution.satisfied);
+    DominationSolution {
+        dominated,
+        solution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+
+    #[test]
+    fn paper_example_m4() {
+        // §II.B: retaining {AC, FourDoor, PowerDoors, PowerBrakes}
+        // dominates t1, t4, t5, t6 — and nothing does better.
+        let db = Database::from_bitstrings(&[
+            "010100", "011000", "100111", "110101", "110000", "010100", "001100",
+        ])
+        .unwrap();
+        let t = Tuple::from_bitstring("110111").unwrap();
+        let r = solve_soc_cb_d(&BruteForce, &db, &t, 4);
+        assert_eq!(r.dominated, 4);
+        assert_eq!(r.solution.retained.to_indices(), vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn domination_monotone_in_budget() {
+        let db = Database::from_bitstrings(&["1100", "0110", "1010", "0001"]).unwrap();
+        let t = Tuple::from_bitstring("1111").unwrap();
+        let mut last = 0;
+        for m in 0..=4 {
+            let r = solve_soc_cb_d(&BruteForce, &db, &t, m);
+            assert!(r.dominated >= last, "m = {m}");
+            last = r.dominated;
+        }
+        assert_eq!(last, 4); // full tuple dominates everything here
+    }
+}

@@ -1,0 +1,183 @@
+//! The disjunctive-retrieval variant (§II.B): a query retrieves `t'` if
+//! *any* of its attributes is present. Choosing `m` attributes to maximize
+//! the number of intersected queries is weighted maximum coverage —
+//! NP-hard, with a classic `1 − 1/e` greedy and an exact ILP
+//! (`y_i ≤ Σ_{j ∈ q_i} x_j`).
+
+use soc_data::AttrSet;
+use soc_solver::{Cmp, LinExpr, MipOptions, Model, Sense};
+
+use crate::{SocInstance, Solution};
+
+/// Objective under disjunctive semantics.
+pub fn disjunctive_objective(instance: &SocInstance<'_>, retained: &AttrSet) -> usize {
+    instance
+        .log
+        .satisfied_count_disjunctive(&soc_data::Tuple::new(retained.clone()))
+}
+
+/// Greedy maximum coverage: repeatedly retain the attribute of `t` that
+/// covers the most still-uncovered queries. Guarantees a `1 − 1/e`
+/// approximation of the optimum.
+pub fn solve_disjunctive_greedy(instance: &SocInstance<'_>) -> Solution {
+    let m_attrs = instance.log.num_attrs();
+    let t = instance.tuple.attrs();
+    let mut retained = AttrSet::empty(m_attrs);
+    let mut uncovered: Vec<(&AttrSet, usize)> = instance
+        .log
+        .iter()
+        .map(|(id, q)| (q.attrs(), instance.log.weight(id)))
+        .filter(|(q, _)| !q.is_disjoint(t))
+        .collect();
+
+    for _ in 0..instance.effective_m() {
+        let best = t
+            .iter()
+            .filter(|&j| !retained.contains(j))
+            .max_by_key(|&j| {
+                (
+                    uncovered
+                        .iter()
+                        .filter(|(q, _)| q.contains(j))
+                        .map(|&(_, w)| w)
+                        .sum::<usize>(),
+                    std::cmp::Reverse(j),
+                )
+            });
+        let Some(j) = best else { break };
+        retained.insert(j);
+        uncovered.retain(|(q, _)| !q.contains(j));
+    }
+
+    let satisfied = disjunctive_objective(instance, &retained);
+    Solution {
+        retained,
+        satisfied,
+    }
+}
+
+/// Exact disjunctive solve by 0/1 ILP.
+pub fn solve_disjunctive_ilp(instance: &SocInstance<'_>) -> Solution {
+    let m_attrs = instance.log.num_attrs();
+    let t = instance.tuple.attrs();
+    let mut model = Model::new(Sense::Maximize);
+    let xs: Vec<_> = (0..m_attrs)
+        .map(|j| {
+            if t.contains(j) {
+                model.add_binary()
+            } else {
+                model.add_binary_fixed(false)
+            }
+        })
+        .collect();
+    let mut objective = LinExpr::new();
+    for (id, q) in instance.log.iter() {
+        if q.attrs().is_disjoint(t) {
+            continue; // can never be covered
+        }
+        let y = model.add_binary();
+        objective = objective.plus(instance.log.weight(id) as f64, y);
+        // y ≤ Σ_{j ∈ q} x_j
+        let mut link = LinExpr::new().plus(1.0, y);
+        for j in q.attrs().iter() {
+            link = link.plus(-1.0, xs[j]);
+        }
+        model.add_constraint(link, Cmp::Le, 0.0);
+    }
+    model.set_objective(objective);
+    model.add_constraint(LinExpr::sum(xs.iter().copied()), Cmp::Le, instance.m as f64);
+    let mip = model
+        .solve_mip(&MipOptions {
+            integral_objective: true,
+            ..Default::default()
+        })
+        .expect("disjunctive ILP is always feasible");
+    let retained =
+        AttrSet::from_indices(m_attrs, (0..m_attrs).filter(|&j| mip.values[j] > 0.5));
+    let satisfied = disjunctive_objective(instance, &retained);
+    debug_assert_eq!(satisfied, mip.objective.round() as usize);
+    Solution {
+        retained,
+        satisfied,
+    }
+}
+
+/// Exhaustive disjunctive optimum — test oracle.
+pub fn solve_disjunctive_brute_force(instance: &SocInstance<'_>) -> Solution {
+    let mut best: Option<Solution> = None;
+    for candidate in instance.tuple.compressions(instance.m) {
+        let satisfied = instance.log.satisfied_count_disjunctive(&candidate);
+        if best.as_ref().is_none_or(|b| satisfied > b.satisfied) {
+            best = Some(Solution {
+                retained: candidate.into_attrs(),
+                satisfied,
+            });
+        }
+    }
+    best.expect("at least one compression exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_data::{QueryLog, Tuple};
+
+    fn setup() -> (QueryLog, Tuple) {
+        let log = QueryLog::from_bitstrings(&[
+            "10000", "10000", "01000", "01000", "01000", "00110", "00001",
+        ])
+        .unwrap();
+        let t = Tuple::from_bitstring("11011").unwrap();
+        (log, t)
+    }
+
+    #[test]
+    fn ilp_matches_brute_force() {
+        let (log, t) = setup();
+        for m in 0..=5 {
+            let inst = SocInstance::new(&log, &t, m);
+            let ilp = solve_disjunctive_ilp(&inst);
+            let bf = solve_disjunctive_brute_force(&inst);
+            assert_eq!(ilp.satisfied, bf.satisfied, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn greedy_within_bound_and_never_better() {
+        let (log, t) = setup();
+        for m in 1..=5 {
+            let inst = SocInstance::new(&log, &t, m);
+            let greedy = solve_disjunctive_greedy(&inst);
+            let opt = solve_disjunctive_brute_force(&inst);
+            assert!(greedy.satisfied <= opt.satisfied);
+            // Max coverage greedy guarantee.
+            let bound = (1.0 - 1.0 / std::f64::consts::E) * opt.satisfied as f64;
+            assert!(
+                greedy.satisfied as f64 >= bound - 1e-9,
+                "m={m}: greedy {} below bound {bound}",
+                greedy.satisfied
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_picks_highest_coverage_first() {
+        let (log, t) = setup();
+        let inst = SocInstance::new(&log, &t, 1);
+        let sol = solve_disjunctive_greedy(&inst);
+        // a1 covers 3 queries — the best single choice of t's attributes.
+        assert_eq!(sol.retained.to_indices(), vec![1]);
+        assert_eq!(sol.satisfied, 3);
+    }
+
+    #[test]
+    fn disjunctive_vs_conjunctive_semantics() {
+        let (log, t) = setup();
+        let inst = SocInstance::new(&log, &t, 2);
+        let dis = solve_disjunctive_brute_force(&inst);
+        // Disjunctive coverage is never below conjunctive satisfaction
+        // for the same retained set.
+        let conj = inst.objective(&dis.retained);
+        assert!(dis.satisfied >= conj);
+    }
+}

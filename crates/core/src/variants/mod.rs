@@ -1,0 +1,10 @@
+//! Problem variants beyond SOC-CB-QL (§II.B, §V): per-attribute objective,
+//! data domination (SOC-CB-D), top-k retrieval with global scores,
+//! disjunctive retrieval, and the categorical / numeric reductions.
+
+pub mod categorical;
+pub mod data_variant;
+pub mod disjunctive;
+pub mod numeric;
+pub mod per_attribute;
+pub mod topk;

@@ -1,0 +1,259 @@
+//! Numeric-data variant (§II.B, §V): publish `m` numeric attribute values
+//! to maximize satisfied range queries. Reduced exactly to SOC-CB-QL via
+//! [`soc_data::numeric::reduce_numeric`].
+
+use soc_data::numeric::{reduce_numeric, NumTuple, RangeQuery};
+use soc_data::AttrSet;
+
+use crate::{SocAlgorithm, SocInstance, Solution};
+
+/// Result of a numeric solve.
+#[derive(Clone, Debug)]
+pub struct NumericSolution {
+    /// Attributes whose values should be published.
+    pub publish: AttrSet,
+    /// Number of range queries satisfied by the published subset.
+    pub satisfied: usize,
+}
+
+/// Solves the numeric variant with any SOC-CB-QL algorithm.
+pub fn solve_numeric<A: SocAlgorithm + ?Sized>(
+    algorithm: &A,
+    queries: &[RangeQuery],
+    tuple: &NumTuple,
+    m: usize,
+) -> NumericSolution {
+    let red = reduce_numeric(queries, tuple);
+    let inst = SocInstance::new(&red.log, &red.tuple, m);
+    let Solution {
+        retained,
+        satisfied,
+    } = algorithm.solve(&inst);
+    NumericSolution {
+        publish: retained,
+        satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+    use soc_data::numeric::Range;
+
+    #[test]
+    fn camera_shop() {
+        // Attributes: price, megapixels, weight (grams), zoom.
+        let t = NumTuple {
+            values: vec![450.0, 12.0, 300.0, 5.0],
+        };
+        let queries = vec![
+            RangeQuery {
+                conditions: vec![Some(Range::new(0.0, 500.0)), None, None, None],
+            },
+            RangeQuery {
+                conditions: vec![
+                    Some(Range::new(0.0, 500.0)),
+                    Some(Range::new(10.0, 20.0)),
+                    None,
+                    None,
+                ],
+            },
+            RangeQuery {
+                conditions: vec![None, None, Some(Range::new(0.0, 250.0)), None], // too heavy
+            },
+            RangeQuery {
+                conditions: vec![None, None, None, Some(Range::new(3.0, 10.0))],
+            },
+        ];
+        let r = solve_numeric(&BruteForce, &queries, &t, 2);
+        // Publishing {price, megapixels} satisfies queries 1 and 2.
+        assert_eq!(r.satisfied, 2);
+        let direct = queries
+            .iter()
+            .filter(|q| q.matches(&t, &r.publish))
+            .count();
+        assert_eq!(direct, 2);
+    }
+
+    #[test]
+    fn budget_of_one() {
+        let t = NumTuple {
+            values: vec![100.0, 5.0],
+        };
+        let queries = vec![
+            RangeQuery {
+                conditions: vec![Some(Range::new(50.0, 150.0)), None],
+            },
+            RangeQuery {
+                conditions: vec![Some(Range::new(50.0, 150.0)), None],
+            },
+            RangeQuery {
+                conditions: vec![None, Some(Range::new(0.0, 10.0))],
+            },
+        ];
+        let r = solve_numeric(&BruteForce, &queries, &t, 1);
+        assert_eq!(r.publish.to_indices(), vec![0]);
+        assert_eq!(r.satisfied, 2);
+    }
+}
+
+/// Ranking direction for the numeric SOC-Topk composition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankDirection {
+    /// Lower values rank higher (e.g. ordering by Price).
+    Ascending,
+    /// Higher values rank higher (e.g. ordering by Megapixels).
+    Descending,
+}
+
+/// Result of a numeric top-k solve.
+#[derive(Clone, Debug)]
+pub struct NumericTopkSolution {
+    /// Attributes whose values should be published.
+    pub publish: AttrSet,
+    /// Number of range queries that retrieve the listing within their
+    /// top-k.
+    pub visible_in: usize,
+    /// Number of winnable queries.
+    pub winnable_queries: usize,
+}
+
+/// The §II.B camera scenario composed end-to-end: buyers issue *range*
+/// queries and results are ranked by a numeric attribute (e.g. price),
+/// with only the top-k shown. A query retrieves the new listing iff every
+/// constrained attribute is published and in range *and* fewer than `k`
+/// matching catalog items outrank it on `rank_attr`.
+///
+/// Ranking is computed by the marketplace, so the ranking attribute's
+/// value participates whether or not it is published. Because the rank is
+/// a global score (the listing's own `rank_attr` value, independent of
+/// the published subset), the winnable-query reduction of §V applies:
+/// drop unwinnable queries, then solve the exact SOC-CB-QL reduction.
+///
+/// Ties are resolved in the new listing's favour.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_numeric_topk<A: SocAlgorithm + ?Sized>(
+    algorithm: &A,
+    catalog: &[NumTuple],
+    queries: &[RangeQuery],
+    rank_attr: usize,
+    direction: RankDirection,
+    k: usize,
+    tuple: &NumTuple,
+    m: usize,
+) -> NumericTopkSolution {
+    assert!(k > 0, "top-k retrieval needs k >= 1");
+    assert!(rank_attr < tuple.values.len(), "rank attribute out of range");
+    let my_rank = tuple.values[rank_attr];
+    let outranks = |v: f64| match direction {
+        RankDirection::Ascending => v < my_rank,
+        RankDirection::Descending => v > my_rank,
+    };
+
+    // Winnable range queries: compatible with the tuple, and with fewer
+    // than k better-ranked catalog matches. Catalog items are fully
+    // published, so they match a query iff every constrained value is in
+    // range.
+    let full = AttrSet::full(tuple.values.len());
+    let winnable: Vec<RangeQuery> = queries
+        .iter()
+        .filter(|q| {
+            q.compatible_with(tuple) && {
+                let better = catalog
+                    .iter()
+                    .filter(|u| q.matches(u, &full) && outranks(u.values[rank_attr]))
+                    .count();
+                better < k
+            }
+        })
+        .cloned()
+        .collect();
+    let winnable_queries = winnable.len();
+
+    let sol = solve_numeric(algorithm, &winnable, tuple, m);
+    NumericTopkSolution {
+        visible_in: sol.satisfied,
+        publish: sol.publish,
+        winnable_queries,
+    }
+}
+
+#[cfg(test)]
+mod topk_tests {
+    use super::*;
+    use crate::BruteForce;
+    use soc_data::numeric::Range;
+
+    fn catalog() -> Vec<NumTuple> {
+        vec![
+            NumTuple { values: vec![300.0, 10.0] }, // cheap, 10 MP
+            NumTuple { values: vec![400.0, 20.0] },
+            NumTuple { values: vec![800.0, 30.0] }, // pricey, 30 MP
+        ]
+    }
+
+    fn queries() -> Vec<RangeQuery> {
+        vec![
+            // price <= 500
+            RangeQuery { conditions: vec![Some(Range::new(0.0, 500.0)), None] },
+            // mp >= 15
+            RangeQuery { conditions: vec![None, Some(Range::new(15.0, 100.0))] },
+            // price <= 600 and mp >= 10
+            RangeQuery {
+                conditions: vec![Some(Range::new(0.0, 600.0)), Some(Range::new(10.0, 100.0))],
+            },
+        ]
+    }
+
+    #[test]
+    fn price_ranking_filters_crowded_queries() {
+        // New camera: $450, 18 MP. Ranked by ascending price, k = 1.
+        let cam = NumTuple { values: vec![450.0, 18.0] };
+        let r = solve_numeric_topk(
+            &BruteForce, &catalog(), &queries(), 0, RankDirection::Ascending, 1, &cam, 2,
+        );
+        // q1 (price<=500): cheaper matches at 300, 400 → 2 ≥ 1, unwinnable.
+        // q2 (mp>=15): matching catalog = 400 & 800; cheaper-than-450 match
+        //   at 400 → 1 ≥ 1, unwinnable.
+        // q3: matches 300, 400 (both cheaper) → unwinnable.
+        assert_eq!(r.winnable_queries, 0);
+        assert_eq!(r.visible_in, 0);
+
+        // With k = 3 everything opens up.
+        let r3 = solve_numeric_topk(
+            &BruteForce, &catalog(), &queries(), 0, RankDirection::Ascending, 3, &cam, 2,
+        );
+        assert_eq!(r3.winnable_queries, 3);
+        assert_eq!(r3.visible_in, 3); // publishing both attrs covers all
+    }
+
+    #[test]
+    fn descending_rank_flips_the_competition() {
+        // Rank by megapixels descending: the 30 MP model outranks us.
+        let cam = NumTuple { values: vec![450.0, 18.0] };
+        let r = solve_numeric_topk(
+            &BruteForce, &catalog(), &queries(), 1, RankDirection::Descending, 1, &cam, 2,
+        );
+        // q1 (price<=500): higher-MP matches? 300→10MP no, 400→20MP yes → 1 ≥ 1 unwinnable.
+        // q2 (mp>=15): 800 (30MP) and 400 (20MP) both higher → unwinnable.
+        // q3: 400 (20MP) higher → unwinnable.
+        assert_eq!(r.winnable_queries, 0);
+        let r2 = solve_numeric_topk(
+            &BruteForce, &catalog(), &queries(), 1, RankDirection::Descending, 2, &cam, 2,
+        );
+        // k = 2: q1 has 1 better → winnable; q3 has 1 better → winnable.
+        assert_eq!(r2.winnable_queries, 2);
+    }
+
+    #[test]
+    fn budget_still_binds() {
+        let cam = NumTuple { values: vec![450.0, 18.0] };
+        let r = solve_numeric_topk(
+            &BruteForce, &catalog(), &queries(), 0, RankDirection::Ascending, 3, &cam, 1,
+        );
+        // Only one attribute may be published; q3 needs both.
+        assert!(r.visible_in <= 2);
+        assert_eq!(r.publish.count(), 1);
+    }
+}

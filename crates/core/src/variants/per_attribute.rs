@@ -1,0 +1,86 @@
+//! The per-attribute variant of SOC-CB-QL (§II.B): no budget is given;
+//! maximize satisfied queries *per retained attribute* — "the number of
+//! potential buyers per unit cost". Solved as the paper prescribes (§V):
+//! try every `m` from 1 to `M` and keep the best ratio.
+
+use crate::{SocAlgorithm, SocInstance, Solution};
+use soc_data::{QueryLog, Tuple};
+
+/// Result of the per-attribute optimization.
+#[derive(Clone, Debug)]
+pub struct PerAttrSolution {
+    /// The winning compression.
+    pub solution: Solution,
+    /// The budget `m` at which it was found.
+    pub m: usize,
+    /// `satisfied / |t'|` (0 when nothing is retained).
+    pub ratio: f64,
+}
+
+/// Solves the per-attribute variant by sweeping `m = 1..=M` with the given
+/// inner algorithm (exact inner algorithm ⇒ exact variant solution).
+pub fn solve_per_attribute<A: SocAlgorithm + ?Sized>(
+    algorithm: &A,
+    log: &QueryLog,
+    tuple: &Tuple,
+) -> PerAttrSolution {
+    let mut best: Option<PerAttrSolution> = None;
+    for m in 1..=log.num_attrs() {
+        let inst = SocInstance::new(log, tuple, m);
+        let solution = algorithm.solve(&inst);
+        let retained = solution.retained.count();
+        let ratio = if retained == 0 {
+            0.0
+        } else {
+            solution.satisfied as f64 / retained as f64
+        };
+        if best.as_ref().is_none_or(|b| ratio > b.ratio + 1e-12) {
+            best = Some(PerAttrSolution { solution, m, ratio });
+        }
+        if m >= tuple.count() {
+            break; // larger budgets change nothing
+        }
+    }
+    best.expect("at least one budget is tried")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+
+    #[test]
+    fn prefers_dense_payoff() {
+        // One attribute satisfies 3 queries alone; pairs add little.
+        let log = QueryLog::from_bitstrings(&[
+            "100", "100", "100", // a0 thrice
+            "110", // {a0,a1} once
+        ])
+        .unwrap();
+        let t = Tuple::from_bitstring("111").unwrap();
+        let best = solve_per_attribute(&BruteForce, &log, &t);
+        // m=1 keeping a0: 3 satisfied / 1 = 3.0; m=2 {a0,a1}: 4/2 = 2.0.
+        assert_eq!(best.m, 1);
+        assert_eq!(best.solution.retained.to_indices(), vec![0]);
+        assert!((best.ratio - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_satisfiable_gives_zero_ratio() {
+        let log = QueryLog::from_bitstrings(&["01"]).unwrap();
+        let t = Tuple::from_bitstring("10").unwrap();
+        let best = solve_per_attribute(&BruteForce, &log, &t);
+        assert_eq!(best.ratio, 0.0);
+    }
+
+    #[test]
+    fn exhausts_budgets_up_to_tuple_size() {
+        // Two attributes jointly needed: ratio 1/2 beats nothing at m=1.
+        let log = QueryLog::from_bitstrings(&["110", "110", "110"]).unwrap();
+        let t = Tuple::from_bitstring("110").unwrap();
+        let best = solve_per_attribute(&BruteForce, &log, &t);
+        assert_eq!(best.solution.satisfied, 3);
+        assert_eq!(best.solution.retained.count(), 2);
+        assert!((best.ratio - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based cross-validation of the SOC algorithms: every exact
+//! algorithm must match the brute-force oracle, and no heuristic may beat
+//! it.
+
+use proptest::prelude::*;
+use soc_core::variants::disjunctive;
+use soc_core::{
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch,
+    MfiSolver, SocAlgorithm, SocInstance,
+};
+use soc_data::{AttrSet, QueryLog, Tuple};
+
+const M: usize = 8;
+
+#[derive(Clone, Debug)]
+struct Instance {
+    log: QueryLog,
+    tuple: Tuple,
+    m: usize,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    let query = proptest::collection::vec(any::<bool>(), M);
+    (
+        proptest::collection::vec(query, 0..14),
+        proptest::collection::vec(any::<bool>(), M),
+        0usize..=M,
+    )
+        .prop_map(|(rows, tbits, m)| Instance {
+            log: QueryLog::from_attr_sets(
+                M,
+                rows.iter().map(|r| AttrSet::from_bools(r)).collect(),
+            ),
+            tuple: Tuple::new(AttrSet::from_bools(&tbits)),
+            m,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn exact_algorithms_agree_with_brute_force(inst in instance()) {
+        let soc = SocInstance::new(&inst.log, &inst.tuple, inst.m);
+        let opt = BruteForce.solve(&soc);
+
+        let ilp = IlpSolver::default().solve(&soc);
+        prop_assert_eq!(ilp.satisfied, opt.satisfied, "ILP vs BruteForce");
+
+        // The MFI algorithm is exact with high probability in the walk
+        // budget; a generous fixed budget makes a miss on an 8-attribute
+        // universe astronomically unlikely.
+        let mfi_solver = MfiSolver {
+            stop: soc_itemsets::StopRule::FixedIterations(1500),
+            max_iterations: 2000,
+            ..Default::default()
+        };
+        let mfi = mfi_solver.solve(&soc);
+        prop_assert_eq!(mfi.satisfied, opt.satisfied, "MFI vs BruteForce");
+
+        // The default (seen-twice) configuration must still be *valid*
+        // even when it occasionally misses the optimum.
+        let default_mfi = MfiSolver::default().solve(&soc);
+        prop_assert!(default_mfi.satisfied <= opt.satisfied);
+        prop_assert!(default_mfi.retained.is_subset(inst.tuple.attrs()));
+
+        // Solutions must actually achieve their claimed objective.
+        prop_assert_eq!(soc.objective(&ilp.retained), ilp.satisfied);
+        prop_assert_eq!(soc.objective(&mfi.retained), mfi.satisfied);
+    }
+
+    #[test]
+    fn heuristics_are_valid_and_never_better(inst in instance()) {
+        let soc = SocInstance::new(&inst.log, &inst.tuple, inst.m);
+        let opt = BruteForce.solve(&soc);
+        let local = LocalSearch::default();
+        for algo in [
+            &ConsumeAttr as &dyn SocAlgorithm,
+            &ConsumeAttrCumul,
+            &ConsumeQueries,
+            &local,
+        ] {
+            let sol = algo.solve(&soc);
+            prop_assert!(sol.satisfied <= opt.satisfied, "{}", algo.name());
+            prop_assert!(sol.retained.is_subset(inst.tuple.attrs()), "{}", algo.name());
+            prop_assert!(sol.retained.count() <= inst.m, "{}", algo.name());
+            prop_assert_eq!(soc.objective(&sol.retained), sol.satisfied);
+        }
+    }
+
+    #[test]
+    fn disjunctive_ilp_matches_enumeration(inst in instance()) {
+        let soc = SocInstance::new(&inst.log, &inst.tuple, inst.m);
+        let exact = disjunctive::solve_disjunctive_ilp(&soc);
+        let oracle = disjunctive::solve_disjunctive_brute_force(&soc);
+        prop_assert_eq!(exact.satisfied, oracle.satisfied);
+        let greedy = disjunctive::solve_disjunctive_greedy(&soc);
+        prop_assert!(greedy.satisfied <= oracle.satisfied);
+    }
+
+    /// Optimal objective is monotone in m.
+    #[test]
+    fn optimum_is_monotone_in_budget(inst in instance()) {
+        let mut last = 0;
+        for m in 0..=M {
+            let soc = SocInstance::new(&inst.log, &inst.tuple, m);
+            let v = BruteForce.solve(&soc).satisfied;
+            prop_assert!(v >= last, "m={m}: {v} < {last}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Categorical data and its reduction to the Boolean problem (§II.B, §V).
+//!
+//! A categorical attribute takes one of several values from a multi-valued
+//! domain. A seller's tuple has a value for every attribute; *retaining* an
+//! attribute publishes its value. A query condition `a = v` is satisfied by
+//! a compressed tuple iff attribute `a` is retained **and** the tuple's
+//! value equals `v`.
+//!
+//! The reduction (§V): queries with any condition conflicting with the new
+//! tuple's values can never be satisfied and are dropped; each remaining
+//! query reduces to the set of attributes it constrains, and the new tuple
+//! reduces to the all-ones Boolean tuple. The result is an exact instance
+//! of SOC-CB-QL.
+
+use std::sync::Arc;
+
+use crate::{AttrSet, Query, QueryLog, Schema, Tuple};
+
+/// Schema for categorical data: each attribute has a named domain.
+#[derive(Clone, Debug)]
+pub struct CatSchema {
+    attrs: Vec<CatAttr>,
+}
+
+/// One categorical attribute: a name and its value domain.
+#[derive(Clone, Debug)]
+pub struct CatAttr {
+    /// Attribute name (e.g. `"Make"`).
+    pub name: String,
+    /// The value domain (e.g. `["Honda", "Toyota", "Ford"]`).
+    pub domain: Vec<String>,
+}
+
+impl CatSchema {
+    /// Builds a schema from `(name, domain)` pairs.
+    pub fn new<I, S, D, V>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, D)>,
+        S: Into<String>,
+        D: IntoIterator<Item = V>,
+        V: Into<String>,
+    {
+        Self {
+            attrs: attrs
+                .into_iter()
+                .map(|(name, domain)| CatAttr {
+                    name: name.into(),
+                    domain: domain.into_iter().map(Into::into).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute descriptors.
+    pub fn attrs(&self) -> &[CatAttr] {
+        &self.attrs
+    }
+
+    /// Index of the value `v` in attribute `a`'s domain.
+    pub fn value_index(&self, a: usize, v: &str) -> Option<u32> {
+        self.attrs[a]
+            .domain
+            .iter()
+            .position(|x| x == v)
+            .map(|i| i as u32)
+    }
+}
+
+/// A categorical tuple: one domain-value index per attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatTuple {
+    /// `values[a]` indexes into attribute `a`'s domain.
+    pub values: Vec<u32>,
+}
+
+/// A categorical conjunctive query: `conditions[a] = Some(v)` requires
+/// attribute `a` to be published with value `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatQuery {
+    /// Per-attribute equality conditions; `None` means unconstrained.
+    pub conditions: Vec<Option<u32>>,
+}
+
+impl CatQuery {
+    /// Attributes this query constrains, as an [`AttrSet`].
+    pub fn constrained(&self) -> AttrSet {
+        AttrSet::from_indices(
+            self.conditions.len(),
+            self.conditions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.map(|_| i)),
+        )
+    }
+
+    /// Does the query retrieve the compression of `t` that publishes
+    /// exactly the attributes in `published`?
+    pub fn matches(&self, t: &CatTuple, published: &AttrSet) -> bool {
+        self.conditions.iter().enumerate().all(|(a, c)| match c {
+            None => true,
+            Some(v) => published.contains(a) && t.values[a] == *v,
+        })
+    }
+
+    /// True if every condition is consistent with `t`'s values — i.e. the
+    /// query could retrieve `t` if the right attributes are published.
+    pub fn compatible_with(&self, t: &CatTuple) -> bool {
+        self.conditions
+            .iter()
+            .enumerate()
+            .all(|(a, c)| c.is_none_or(|v| t.values[a] == v))
+    }
+}
+
+/// The Boolean SOC-CB-QL instance produced by [`reduce_categorical`].
+pub struct CategoricalReduction {
+    /// Boolean query log over the categorical attribute positions.
+    pub log: QueryLog,
+    /// The all-ones Boolean stand-in for the categorical tuple.
+    pub tuple: Tuple,
+}
+
+/// Reduces a categorical instance `(queries, t)` to an exact Boolean
+/// SOC-CB-QL instance. Retaining Boolean attribute `a` in the reduced
+/// instance corresponds to publishing categorical attribute `a`.
+pub fn reduce_categorical(
+    schema: &CatSchema,
+    queries: &[CatQuery],
+    t: &CatTuple,
+) -> CategoricalReduction {
+    assert_eq!(t.values.len(), schema.len(), "tuple width mismatch");
+    let m = schema.len();
+    let bool_schema = Arc::new(Schema::new(schema.attrs.iter().map(|a| a.name.clone())));
+    let bool_queries: Vec<Query> = queries
+        .iter()
+        .filter(|q| {
+            assert_eq!(q.conditions.len(), m, "query width mismatch");
+            q.compatible_with(t)
+        })
+        .map(|q| Query::new(q.constrained()))
+        .collect();
+    CategoricalReduction {
+        log: QueryLog::new(bool_schema, bool_queries),
+        tuple: Tuple::new(AttrSet::full(m)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> CatSchema {
+        CatSchema::new([
+            ("make", vec!["honda", "toyota"]),
+            ("color", vec!["red", "blue", "black"]),
+            ("trans", vec!["auto", "manual"]),
+        ])
+    }
+
+    #[test]
+    fn value_lookup() {
+        let s = schema();
+        assert_eq!(s.value_index(1, "blue"), Some(1));
+        assert_eq!(s.value_index(1, "green"), None);
+    }
+
+    #[test]
+    fn matching_requires_publication_and_equality() {
+        let t = CatTuple {
+            values: vec![0, 1, 0], // honda, blue, auto
+        };
+        let q = CatQuery {
+            conditions: vec![Some(0), Some(1), None], // make=honda, color=blue
+        };
+        let all = AttrSet::full(3);
+        assert!(q.matches(&t, &all));
+        // Unpublished color: condition fails.
+        let only_make = AttrSet::from_indices(3, [0]);
+        assert!(!q.matches(&t, &only_make));
+        // Wrong value never matches even when published.
+        let q2 = CatQuery {
+            conditions: vec![Some(1), None, None], // make=toyota
+        };
+        assert!(!q2.matches(&t, &all));
+        assert!(!q2.compatible_with(&t));
+    }
+
+    #[test]
+    fn reduction_preserves_satisfaction() {
+        let s = schema();
+        let t = CatTuple {
+            values: vec![0, 1, 0],
+        };
+        let queries = vec![
+            CatQuery {
+                conditions: vec![Some(0), None, None],
+            }, // compatible
+            CatQuery {
+                conditions: vec![Some(1), None, Some(0)],
+            }, // make conflicts -> dropped
+            CatQuery {
+                conditions: vec![None, Some(1), Some(0)],
+            }, // compatible
+        ];
+        let red = reduce_categorical(&s, &queries, &t);
+        assert_eq!(red.log.len(), 2);
+        assert_eq!(red.tuple.count(), 3);
+
+        // Cross-check: for every publication set, the Boolean objective
+        // equals the direct categorical count.
+        for published in [
+            AttrSet::from_indices(3, [0]),
+            AttrSet::from_indices(3, [1, 2]),
+            AttrSet::full(3),
+            AttrSet::empty(3),
+        ] {
+            let direct = queries.iter().filter(|q| q.matches(&t, &published)).count();
+            let reduced = red.log.satisfied_count(&Tuple::new(published.clone()));
+            assert_eq!(direct, reduced, "published = {published}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple width mismatch")]
+    fn width_mismatch_panics() {
+        let s = schema();
+        let t = CatTuple { values: vec![0, 1] };
+        let _ = reduce_categorical(&s, &[], &t);
+    }
+}

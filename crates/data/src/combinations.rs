@@ -1,0 +1,122 @@
+//! Lexicographic k-combination enumeration.
+//!
+//! Used by the brute-force SOC algorithm (all `C(|t|, m)` compressions) and
+//! by the MFI algorithm's level-`M−m` subset scan.
+
+/// Iterator over all `k`-element subsets of `{0, .., n-1}` in lexicographic
+/// order. Each item is a sorted index vector.
+///
+/// Yields exactly one empty vector when `k == 0`, and nothing when `k > n`.
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    /// Creates the iterator over `C(n, k)` combinations.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            n,
+            k,
+            indices: (0..k).collect(),
+            done: k > n,
+        }
+    }
+
+    /// The number of combinations `C(n, k)`, saturating at `u128::MAX`.
+    pub fn count_total(n: usize, k: usize) -> u128 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut acc: u128 = 1;
+        for i in 0..k {
+            acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+        }
+        acc
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.indices.clone();
+        // Advance to the next combination in lexicographic order.
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.indices[i] != i + self.n - self.k {
+                self.indices[i] += 1;
+                for j in i + 1..self.k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_enumeration() {
+        let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3],
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(Combinations::new(3, 0).count(), 1);
+        assert_eq!(Combinations::new(3, 3).count(), 1);
+        assert_eq!(Combinations::new(3, 4).count(), 0);
+        assert_eq!(Combinations::new(0, 0).count(), 1);
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        for n in 0..10 {
+            for k in 0..=n + 1 {
+                assert_eq!(
+                    Combinations::new(n, k).count() as u128,
+                    Combinations::count_total(n, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+        assert_eq!(Combinations::count_total(32, 5), 201_376);
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        let all: Vec<Vec<usize>> = Combinations::new(6, 3).collect();
+        for c in &all {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

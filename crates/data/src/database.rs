@@ -1,0 +1,191 @@
+//! Databases of Boolean tuples: the "competition" `D = {t_1 ... t_N}`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Query, QueryLog, Schema, Tuple, TupleId};
+
+/// An immutable collection of Boolean tuples over a shared [`Schema`].
+///
+/// Needed by the SOC-CB-D variant (domination counts) and by SOC-Topk
+/// (rank computation); plain SOC-CB-QL never reads it (§II.A).
+#[derive(Clone)]
+pub struct Database {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+impl Database {
+    /// Builds a database from tuples over `schema`.
+    ///
+    /// # Panics
+    /// Panics if any tuple's universe differs from the schema width.
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        for t in &tuples {
+            assert_eq!(
+                t.universe(),
+                schema.len(),
+                "tuple universe does not match schema width"
+            );
+        }
+        Self { schema, tuples }
+    }
+
+    /// Parses Fig-1-style bit-vector rows into a database.
+    pub fn from_bitstrings(rows: &[&str]) -> Option<Self> {
+        let width = rows.first().map_or(0, |r| r.len());
+        let mut tuples = Vec::with_capacity(rows.len());
+        for r in rows {
+            if r.len() != width {
+                return None;
+            }
+            tuples.push(Tuple::from_bitstring(r)?);
+        }
+        Some(Self::new(Arc::new(Schema::anonymous(width)), tuples))
+    }
+
+    /// The shared schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the database holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of attributes `M`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The tuples in insertion order.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The tuple with the given id.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.0 as usize]
+    }
+
+    /// Iterates `(TupleId, &Tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId(i as u32), t))
+    }
+
+    /// Boolean retrieval `R(q)`: ids of tuples matching the query.
+    pub fn retrieve(&self, q: &Query) -> Vec<TupleId> {
+        self.iter()
+            .filter(|(_, t)| q.matches(t))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Number of tuples matching the query, without materializing ids.
+    pub fn retrieve_count(&self, q: &Query) -> usize {
+        self.tuples.iter().filter(|t| q.matches(t)).count()
+    }
+
+    /// SOC-CB-D objective: number of database tuples dominated by `t`.
+    pub fn dominated_count(&self, t: &Tuple) -> usize {
+        self.tuples.iter().filter(|u| t.dominates(u)).count()
+    }
+
+    /// Ids of database tuples dominated by `t`.
+    pub fn dominated_ids(&self, t: &Tuple) -> Vec<TupleId> {
+        self.iter()
+            .filter(|(_, u)| t.dominates(u))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Reinterprets the database as a query log (each tuple becomes a
+    /// conjunctive query). This is exactly how the paper reduces SOC-CB-D
+    /// to SOC-CB-QL (§V): `t'` dominates `u` iff the "query" `u`
+    /// retrieves `t'`.
+    #[must_use]
+    pub fn as_query_log(&self) -> QueryLog {
+        QueryLog::new(
+            Arc::clone(&self.schema),
+            self.tuples
+                .iter()
+                .map(|t| Query::new(t.attrs().clone()))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("num_tuples", &self.len())
+            .field("num_attrs", &self.num_attrs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The database of the paper's Fig 1.
+    fn fig1_db() -> Database {
+        Database::from_bitstrings(&[
+            "010100", "011000", "100111", "110101", "110000", "010100", "001100",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_domination_example() {
+        let db = fig1_db();
+        // §II.B: t' = [1,1,0,1,0,1] dominates t1, t4, t5, t6.
+        let t = Tuple::from_bitstring("110101").unwrap();
+        assert_eq!(db.dominated_count(&t), 4);
+        assert_eq!(
+            db.dominated_ids(&t),
+            vec![TupleId(0), TupleId(3), TupleId(4), TupleId(5)]
+        );
+    }
+
+    #[test]
+    fn retrieval() {
+        let db = fig1_db();
+        // q3 = {FourDoor, PowerDoors} matches t1, t4, t6.
+        let q3 = Query::from_bitstring("010100").unwrap();
+        assert_eq!(db.retrieve(&q3), vec![TupleId(0), TupleId(3), TupleId(5)]);
+        assert_eq!(db.retrieve_count(&q3), 3);
+    }
+
+    #[test]
+    fn as_query_log_reduction_preserves_objective() {
+        let db = fig1_db();
+        let log = db.as_query_log();
+        for bits in ["110101", "110100", "000000", "111111"] {
+            let t = Tuple::from_bitstring(bits).unwrap();
+            assert_eq!(db.dominated_count(&t), log.satisfied_count(&t), "{bits}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match schema")]
+    fn schema_width_enforced() {
+        let schema = Arc::new(Schema::anonymous(3));
+        let t = Tuple::from_bitstring("0101").unwrap();
+        let _ = Database::new(schema, vec![t]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Plain-text serialization of query logs and databases.
+//!
+//! The format is line-oriented and human-editable (no serialization
+//! crates are available in the offline dependency set, and none are
+//! needed for data this simple):
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
+//! 110000
+//! 3x 100100        # a weight prefix "Nx" repeats a query N times
+//! 010100
+//! ```
+//!
+//! - An optional `attrs = ...` header names the schema; without it the
+//!   schema is anonymous and the width is taken from the first row.
+//! - Rows are bit-vectors in the paper's Fig 1 layout (position 0
+//!   leftmost).
+//! - A `Nx ` prefix sets the row's weight (query multiplicity). Weights
+//!   on database rows are rejected.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Database, Query, QueryLog, Schema, Tuple};
+
+/// Parse error with 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on (1-based), 0 for document-level errors.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+struct ParsedRows {
+    schema: Arc<Schema>,
+    rows: Vec<(crate::AttrSet, usize)>, // (bits, weight)
+}
+
+fn parse_rows(text: &str, allow_weights: bool) -> Result<ParsedRows, ParseError> {
+    let mut schema: Option<Arc<Schema>> = None;
+    let mut rows: Vec<(crate::AttrSet, usize)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("attrs") {
+            let rest = rest.trim_start();
+            let Some(names) = rest.strip_prefix('=') else {
+                return Err(err(line_no, "expected '=' after 'attrs'"));
+            };
+            if schema.is_some() {
+                return Err(err(line_no, "duplicate 'attrs' header"));
+            }
+            if !rows.is_empty() {
+                return Err(err(line_no, "'attrs' header must precede data rows"));
+            }
+            let names: Vec<String> = names
+                .split(',')
+                .map(|n| n.trim().to_string())
+                .filter(|n| !n.is_empty())
+                .collect();
+            if names.is_empty() {
+                return Err(err(line_no, "empty attribute list"));
+            }
+            schema = Some(Arc::new(Schema::new(names)));
+            continue;
+        }
+
+        // Optional "Nx " weight prefix.
+        let (weight, bits_str) = match line.split_once(char::is_whitespace) {
+            Some((first, rest)) if first.ends_with('x') => {
+                let n: usize = first[..first.len() - 1]
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad weight prefix {first:?}")))?;
+                if n == 0 {
+                    return Err(err(line_no, "weight must be positive"));
+                }
+                (n, rest.trim())
+            }
+            _ => (1, line),
+        };
+        if weight > 1 && !allow_weights {
+            return Err(err(line_no, "weights are not allowed on database rows"));
+        }
+
+        let bits = crate::AttrSet::from_bitstring(bits_str)
+            .ok_or_else(|| err(line_no, format!("invalid bit-vector {bits_str:?}")))?;
+        if let Some(s) = &schema {
+            if bits.universe() != s.len() {
+                return Err(err(
+                    line_no,
+                    format!("row width {} does not match schema width {}", bits.universe(), s.len()),
+                ));
+            }
+        } else if let Some((first, _)) = rows.first() {
+            if bits.universe() != first.universe() {
+                return Err(err(
+                    line_no,
+                    format!(
+                        "row width {} does not match earlier width {}",
+                        bits.universe(),
+                        first.universe()
+                    ),
+                ));
+            }
+        }
+        rows.push((bits, weight));
+    }
+
+    let schema = schema.unwrap_or_else(|| {
+        let width = rows.first().map_or(0, |(b, _)| b.universe());
+        Arc::new(Schema::anonymous(width))
+    });
+    Ok(ParsedRows { schema, rows })
+}
+
+/// Parses a query log from the text format.
+pub fn parse_query_log(text: &str) -> Result<QueryLog, ParseError> {
+    let parsed = parse_rows(text, true)?;
+    let (queries, weights): (Vec<Query>, Vec<usize>) = parsed
+        .rows
+        .into_iter()
+        .map(|(bits, w)| (Query::new(bits), w))
+        .unzip();
+    Ok(QueryLog::new_weighted(parsed.schema, queries, weights))
+}
+
+/// Parses a database from the text format (weights rejected).
+pub fn parse_database(text: &str) -> Result<Database, ParseError> {
+    let parsed = parse_rows(text, false)?;
+    let tuples = parsed
+        .rows
+        .into_iter()
+        .map(|(bits, _)| Tuple::new(bits))
+        .collect();
+    Ok(Database::new(parsed.schema, tuples))
+}
+
+fn schema_header(schema: &Schema) -> Option<String> {
+    // Anonymous schemas (attr0, attr1, …) are written headerless.
+    let anonymous = schema
+        .iter()
+        .all(|(id, name)| name == format!("attr{}", id.index()));
+    if anonymous {
+        None
+    } else {
+        Some(format!("attrs = {}", schema.names().join(", ")))
+    }
+}
+
+/// Renders a query log in the text format (weights written as `Nx`).
+pub fn write_query_log(log: &QueryLog) -> String {
+    let mut out = String::new();
+    if let Some(h) = schema_header(log.schema()) {
+        out.push_str(&h);
+        out.push('\n');
+    }
+    for (id, q) in log.iter() {
+        let w = log.weight(id);
+        if w > 1 {
+            out.push_str(&format!("{w}x "));
+        }
+        out.push_str(&q.attrs().to_bitstring());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a database in the text format.
+pub fn write_database(db: &Database) -> String {
+    let mut out = String::new();
+    if let Some(h) = schema_header(db.schema()) {
+        out.push_str(&h);
+        out.push('\n');
+    }
+    for t in db.tuples() {
+        out.push_str(&t.attrs().to_bitstring());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Fig 1 query log
+attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
+110000
+100100   # trailing comment
+2x 010100
+000101
+001010
+";
+
+    #[test]
+    fn parse_named_weighted_log() {
+        let log = parse_query_log(SAMPLE).unwrap();
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.total_weight(), 6);
+        assert_eq!(log.schema().attr("turbo"), Some(crate::AttrId(2)));
+        assert_eq!(log.weight(crate::QueryId(2)), 2);
+    }
+
+    #[test]
+    fn roundtrip_log() {
+        let log = parse_query_log(SAMPLE).unwrap();
+        let text = write_query_log(&log);
+        let again = parse_query_log(&text).unwrap();
+        assert_eq!(again.len(), log.len());
+        assert_eq!(again.total_weight(), log.total_weight());
+        for (a, b) in log.queries().iter().zip(again.queries()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn anonymous_log() {
+        let log = parse_query_log("10\n01\n").unwrap();
+        assert_eq!(log.num_attrs(), 2);
+        assert_eq!(log.schema().name(crate::AttrId(0)), "attr0");
+        // Headerless output for anonymous schemas.
+        assert_eq!(write_query_log(&log), "10\n01\n");
+    }
+
+    #[test]
+    fn parse_database_rejects_weights() {
+        assert!(parse_database("110\n2x 011\n").is_err());
+        let db = parse_database("110\n011\n").unwrap();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_query_log("110\nxyz\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("invalid bit-vector"));
+
+        let e = parse_query_log("110\n1100\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("width"));
+
+        let e = parse_query_log("0x 110\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+
+        let e = parse_query_log("110\nattrs = a,b,c\n").unwrap_err();
+        assert!(e.message.contains("precede"));
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let db = parse_database("attrs = a, b, c\n110\n011\n").unwrap();
+        let text = write_database(&db);
+        let again = parse_database(&text).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again.schema().attr("c"), Some(crate::AttrId(2)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let log = parse_query_log("# nothing here\n").unwrap();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # soc-data
+//!
+//! Boolean data substrate for the `standout` workspace — the data model of
+//! *"Standing Out in a Crowd: Selecting Attributes for Maximum Visibility"*
+//! (ICDE 2008), §II.
+//!
+//! The crate provides:
+//!
+//! - [`AttrSet`] — fixed-universe bitsets over attribute positions;
+//! - [`Schema`] / [`AttrId`] — named attribute universes;
+//! - [`Tuple`] — Boolean tuples with domination and compression;
+//! - [`Query`] / [`QueryLog`] — conjunctive Boolean queries and workloads,
+//!   including the complement-support counting the MFI algorithm relies on;
+//! - [`Database`] — tuple collections with retrieval and domination counts,
+//!   and the SOC-CB-D → SOC-CB-QL reduction;
+//! - [`Combinations`] — lexicographic k-subset enumeration;
+//! - [`categorical`] and [`numeric`] — the non-Boolean data variants of
+//!   §II.B and their exact reductions to the Boolean problem (§V);
+//! - [`io`] — a line-oriented text format for logs and databases.
+//!
+//! ```
+//! use soc_data::{QueryLog, Tuple};
+//!
+//! // The paper's Fig 1: how many queries retrieve the compressed car?
+//! let log = QueryLog::from_bitstrings(&[
+//!     "110000", "100100", "010100", "000101", "001010",
+//! ]).unwrap();
+//! let compressed = Tuple::from_bitstring("110100").unwrap();
+//! assert_eq!(log.satisfied_count(&compressed), 3);
+//!
+//! // Weighted deduplication preserves every objective value.
+//! let dedup = log.deduplicate();
+//! assert_eq!(dedup.satisfied_count(&compressed), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bitset;
+pub mod categorical;
+pub mod io;
+mod combinations;
+mod database;
+pub mod numeric;
+mod query;
+mod querylog;
+mod schema;
+mod tuple;
+
+pub use bitset::{AttrSet, Ones};
+pub use combinations::Combinations;
+pub use database::Database;
+pub use query::{Query, QueryId};
+pub use querylog::{QueryLog, QueryLogStats};
+pub use schema::{AttrId, Schema};
+pub use tuple::{Tuple, TupleId};

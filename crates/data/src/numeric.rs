@@ -1,0 +1,240 @@
+//! Numeric data with range queries, and the reduction to SOC-CB-QL (§V).
+//!
+//! A numeric tuple has a real value per attribute; a range query constrains
+//! a subset of attributes with inclusive intervals. A compressed tuple
+//! publishes `m` attribute values; a range query retrieves it iff every
+//! constrained attribute is **published and within range** (an ad that
+//! hides its price does not appear in price-filtered searches).
+//!
+//! Reduction (§V): the paper converts each query to a Boolean row with
+//! `b_i = 1` iff the query's `i`-th range contains the tuple's `i`-th
+//! value, and converts `t` to all-1s. Taken literally, a query with an
+//! out-of-range condition would be *weakened* (its unmeetable condition
+//! vanishes) instead of being unsatisfiable, which overcounts. We implement
+//! the exact version — queries with any out-of-range condition are dropped
+//! entirely — and keep the literal transformation available for comparison
+//! as [`reduce_numeric_literal`].
+
+use std::sync::Arc;
+
+use crate::{AttrSet, Query, QueryLog, Schema, Tuple};
+
+/// A numeric tuple: one value per attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NumTuple {
+    /// `values[a]` is the value of numeric attribute `a`.
+    pub values: Vec<f64>,
+}
+
+/// An inclusive numeric interval `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Range {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Range {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "range bounds must not be NaN");
+        assert!(lo <= hi, "range lower bound exceeds upper bound");
+        Self { lo, hi }
+    }
+
+    /// Whether `v` lies within the interval.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// A range query: per-attribute optional intervals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeQuery {
+    /// `conditions[a] = Some(range)` constrains attribute `a`.
+    pub conditions: Vec<Option<Range>>,
+}
+
+impl RangeQuery {
+    /// Attributes this query constrains.
+    pub fn constrained(&self) -> AttrSet {
+        AttrSet::from_indices(
+            self.conditions.len(),
+            self.conditions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.map(|_| i)),
+        )
+    }
+
+    /// Does the query retrieve the compression of `t` publishing exactly
+    /// the attributes in `published`?
+    pub fn matches(&self, t: &NumTuple, published: &AttrSet) -> bool {
+        self.conditions.iter().enumerate().all(|(a, c)| match c {
+            None => true,
+            Some(r) => published.contains(a) && r.contains(t.values[a]),
+        })
+    }
+
+    /// True if every range condition contains `t`'s value — the query can
+    /// retrieve `t` when the right attributes are published.
+    pub fn compatible_with(&self, t: &NumTuple) -> bool {
+        self.conditions
+            .iter()
+            .enumerate()
+            .all(|(a, c)| c.is_none_or(|r| r.contains(t.values[a])))
+    }
+}
+
+/// The Boolean SOC-CB-QL instance produced by the numeric reductions.
+pub struct NumericReduction {
+    /// Boolean query log over the numeric attribute positions.
+    pub log: QueryLog,
+    /// The all-ones Boolean stand-in for the numeric tuple.
+    pub tuple: Tuple,
+}
+
+fn all_ones_tuple(m: usize) -> Tuple {
+    Tuple::new(AttrSet::full(m))
+}
+
+/// Exact reduction: drops queries with any out-of-range condition, keeps
+/// the constrained-attribute set of the rest. The Boolean objective equals
+/// the numeric objective for every publication set.
+pub fn reduce_numeric(queries: &[RangeQuery], t: &NumTuple) -> NumericReduction {
+    let m = t.values.len();
+    let schema = Arc::new(Schema::anonymous(m));
+    let bool_queries: Vec<Query> = queries
+        .iter()
+        .filter(|q| {
+            assert_eq!(q.conditions.len(), m, "query width mismatch");
+            q.compatible_with(t)
+        })
+        .map(|q| Query::new(q.constrained()))
+        .collect();
+    NumericReduction {
+        log: QueryLog::new(schema, bool_queries),
+        tuple: all_ones_tuple(m),
+    }
+}
+
+/// The paper's literal transformation (§V): every query is kept and each
+/// condition becomes bit `1` iff its range contains `t`'s value. Queries
+/// with out-of-range conditions are thereby weakened rather than dropped;
+/// see the module docs. Retained for fidelity comparisons and tests.
+pub fn reduce_numeric_literal(queries: &[RangeQuery], t: &NumTuple) -> NumericReduction {
+    let m = t.values.len();
+    let schema = Arc::new(Schema::anonymous(m));
+    let bool_queries: Vec<Query> = queries
+        .iter()
+        .map(|q| {
+            assert_eq!(q.conditions.len(), m, "query width mismatch");
+            Query::new(AttrSet::from_indices(
+                m,
+                q.conditions
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| match c {
+                        Some(r) if r.contains(t.values[i]) => Some(i),
+                        _ => None,
+                    }),
+            ))
+        })
+        .collect();
+    NumericReduction {
+        log: QueryLog::new(schema, bool_queries),
+        tuple: all_ones_tuple(m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> NumTuple {
+        NumTuple {
+            values: vec![450.0, 12.0, 300.0], // price, megapixels, weight
+        }
+    }
+
+    fn queries() -> Vec<RangeQuery> {
+        vec![
+            // price<=500 & mp>=10: compatible.
+            RangeQuery {
+                conditions: vec![
+                    Some(Range::new(0.0, 500.0)),
+                    Some(Range::new(10.0, 100.0)),
+                    None,
+                ],
+            },
+            // price<=400: t is out of range -> never satisfiable.
+            RangeQuery {
+                conditions: vec![Some(Range::new(0.0, 400.0)), None, None],
+            },
+            // weight<=350: compatible.
+            RangeQuery {
+                conditions: vec![None, None, Some(Range::new(0.0, 350.0))],
+            },
+        ]
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = Range::new(1.0, 2.0);
+        assert!(r.contains(1.0) && r.contains(2.0) && r.contains(1.5));
+        assert!(!r.contains(0.999) && !r.contains(2.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn inverted_range_panics() {
+        let _ = Range::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn matching_needs_publication() {
+        let t = camera();
+        let q = &queries()[0];
+        assert!(q.matches(&t, &AttrSet::full(3)));
+        assert!(!q.matches(&t, &AttrSet::from_indices(3, [0]))); // mp hidden
+        assert!(q.matches(&t, &AttrSet::from_indices(3, [0, 1])));
+    }
+
+    #[test]
+    fn exact_reduction_preserves_objective() {
+        let t = camera();
+        let qs = queries();
+        let red = reduce_numeric(&qs, &t);
+        assert_eq!(red.log.len(), 2); // out-of-range query dropped
+        for published in [
+            AttrSet::empty(3),
+            AttrSet::from_indices(3, [0]),
+            AttrSet::from_indices(3, [0, 1]),
+            AttrSet::from_indices(3, [2]),
+            AttrSet::full(3),
+        ] {
+            let direct = qs.iter().filter(|q| q.matches(&t, &published)).count();
+            let reduced = red.log.satisfied_count(&Tuple::new(published.clone()));
+            assert_eq!(direct, reduced, "published = {published}");
+        }
+    }
+
+    #[test]
+    fn literal_reduction_overcounts_incompatible_queries() {
+        let t = camera();
+        let qs = queries();
+        let red = reduce_numeric_literal(&qs, &t);
+        assert_eq!(red.log.len(), 3); // nothing dropped
+        // The weakened out-of-range query becomes the empty query, which
+        // is satisfied by anything — the overcount the module docs warn of.
+        let none = Tuple::new(AttrSet::empty(3));
+        assert_eq!(red.log.satisfied_count(&none), 1);
+        let direct = qs.iter().filter(|q| q.matches(&t, &AttrSet::empty(3))).count();
+        assert_eq!(direct, 0);
+    }
+}

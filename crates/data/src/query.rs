@@ -1,0 +1,107 @@
+//! Conjunctive Boolean queries (§II.A).
+
+use std::fmt;
+
+use crate::{AttrSet, Tuple};
+
+/// Identifier of a query within a [`crate::QueryLog`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct QueryId(pub u32);
+
+/// A conjunctive Boolean query: the set of attributes that must all be 1.
+///
+/// `{a_1, a_3}` means "return all tuples with `a_1 = 1` and `a_3 = 1`".
+/// Equivalently (§II.A), a tuple `t` is retrieved by `q` iff `t` dominates
+/// `q` viewed as a tuple, i.e. `q ⊆ t`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    attrs: AttrSet,
+}
+
+impl Query {
+    /// Wraps an attribute set as a conjunctive query.
+    pub fn new(attrs: AttrSet) -> Self {
+        Self { attrs }
+    }
+
+    /// Builds a query from the indices of the attributes it constrains.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(universe: usize, indices: I) -> Self {
+        Self::new(AttrSet::from_indices(universe, indices))
+    }
+
+    /// Parses a Fig-1-style bit-vector string.
+    pub fn from_bitstring(s: &str) -> Option<Self> {
+        AttrSet::from_bitstring(s).map(Self::new)
+    }
+
+    /// The constrained attribute set.
+    #[inline]
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Number of attributes the query specifies.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.count()
+    }
+
+    /// True if the query specifies no attribute (it retrieves everything).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Conjunctive Boolean retrieval: does this query retrieve `t`?
+    #[inline]
+    pub fn matches(&self, t: &Tuple) -> bool {
+        self.attrs.is_subset(t.attrs())
+    }
+
+    /// Disjunctive Boolean retrieval (§II.B variant): does `t` have at
+    /// least one of the query's attributes?
+    #[inline]
+    pub fn matches_disjunctive(&self, t: &Tuple) -> bool {
+        !self.attrs.is_disjoint(t.attrs())
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Query({})", self.attrs.to_bitstring())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunctive_matching() {
+        // Fig 1: q2 = {AC, PowerDoors} matches t3 = [1,0,0,1,1,1].
+        let q2 = Query::from_bitstring("100100").unwrap();
+        let t3 = Tuple::from_bitstring("100111").unwrap();
+        let t2 = Tuple::from_bitstring("011000").unwrap();
+        assert!(q2.matches(&t3));
+        assert!(!q2.matches(&t2));
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let q = Query::from_bitstring("0000").unwrap();
+        assert!(q.is_empty());
+        assert!(q.matches(&Tuple::from_bitstring("0000").unwrap()));
+        assert!(q.matches(&Tuple::from_bitstring("1111").unwrap()));
+    }
+
+    #[test]
+    fn disjunctive_matching() {
+        let q = Query::from_bitstring("1100").unwrap();
+        assert!(q.matches_disjunctive(&Tuple::from_bitstring("1000").unwrap()));
+        assert!(q.matches_disjunctive(&Tuple::from_bitstring("0100").unwrap()));
+        assert!(!q.matches_disjunctive(&Tuple::from_bitstring("0011").unwrap()));
+        // Empty query matches nothing disjunctively.
+        let e = Query::from_bitstring("0000").unwrap();
+        assert!(!e.matches_disjunctive(&Tuple::from_bitstring("1111").unwrap()));
+    }
+}

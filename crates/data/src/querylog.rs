@@ -1,0 +1,471 @@
+//! Query logs: the workload `Q = {q_1 ... q_S}` (§II.A) and the statistics
+//! the greedy heuristics consume.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{AttrSet, Query, QueryId, Schema, Tuple};
+
+/// An immutable collection of conjunctive queries over a shared [`Schema`].
+///
+/// The query log is "our primary model of what past potential buyers have
+/// been interested in" (§I). It is the sole input the SOC-CB-QL algorithms
+/// analyze — the database itself is irrelevant for that variant.
+///
+/// Every query carries a *weight* (a multiplicity, 1 by default). All
+/// counting methods — [`QueryLog::satisfied_count`], attribute
+/// frequencies, complement supports — sum weights, so a deduplicated log
+/// ([`QueryLog::deduplicate`]) yields exactly the same objective values as
+/// the raw log while being much smaller. Real query logs are dominated by
+/// repeated queries, making this the single most effective preprocessing
+/// step before any SOC algorithm runs.
+#[derive(Clone)]
+pub struct QueryLog {
+    schema: Arc<Schema>,
+    queries: Vec<Query>,
+    weights: Vec<usize>,
+}
+
+impl QueryLog {
+    /// Builds a log from queries over `schema`, all with weight 1.
+    ///
+    /// # Panics
+    /// Panics if any query's universe differs from the schema width.
+    pub fn new(schema: Arc<Schema>, queries: Vec<Query>) -> Self {
+        let weights = vec![1; queries.len()];
+        Self::new_weighted(schema, queries, weights)
+    }
+
+    /// Builds a log with explicit per-query weights (multiplicities).
+    ///
+    /// # Panics
+    /// Panics if lengths differ, any weight is zero, or any query's
+    /// universe differs from the schema width.
+    pub fn new_weighted(
+        schema: Arc<Schema>,
+        queries: Vec<Query>,
+        weights: Vec<usize>,
+    ) -> Self {
+        assert_eq!(queries.len(), weights.len(), "one weight per query");
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        for q in &queries {
+            assert_eq!(
+                q.attrs().universe(),
+                schema.len(),
+                "query universe does not match schema width"
+            );
+        }
+        Self {
+            schema,
+            queries,
+            weights,
+        }
+    }
+
+    /// Merges duplicate queries, summing their weights. Objective values
+    /// computed against the result equal those of the original log.
+    #[must_use]
+    pub fn deduplicate(&self) -> QueryLog {
+        let mut index: std::collections::HashMap<&Query, usize> =
+            std::collections::HashMap::new();
+        let mut queries: Vec<Query> = Vec::new();
+        let mut weights: Vec<usize> = Vec::new();
+        for (q, &w) in self.queries.iter().zip(&self.weights) {
+            match index.get(q) {
+                Some(&i) => weights[i] += w,
+                None => {
+                    index.insert(q, queries.len());
+                    queries.push(q.clone());
+                    weights.push(w);
+                }
+            }
+        }
+        QueryLog {
+            schema: Arc::clone(&self.schema),
+            queries,
+            weights,
+        }
+    }
+
+    /// The weight (multiplicity) of a query.
+    pub fn weight(&self, id: QueryId) -> usize {
+        self.weights[id.0 as usize]
+    }
+
+    /// Sum of all query weights (the size of the log before
+    /// deduplication).
+    pub fn total_weight(&self) -> usize {
+        self.weights.iter().sum()
+    }
+
+    /// Builds a log over an anonymous schema directly from attribute sets.
+    pub fn from_attr_sets(universe: usize, sets: Vec<AttrSet>) -> Self {
+        let schema = Arc::new(Schema::anonymous(universe));
+        Self::new(schema, sets.into_iter().map(Query::new).collect())
+    }
+
+    /// Parses Fig-1-style bit-vector rows into a log.
+    ///
+    /// Returns `None` if any row is malformed or rows have differing widths.
+    pub fn from_bitstrings(rows: &[&str]) -> Option<Self> {
+        let width = rows.first().map_or(0, |r| r.len());
+        let mut queries = Vec::with_capacity(rows.len());
+        for r in rows {
+            if r.len() != width {
+                return None;
+            }
+            queries.push(Query::from_bitstring(r)?);
+        }
+        Some(Self::new(Arc::new(Schema::anonymous(width)), queries))
+    }
+
+    /// The shared schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of attributes `M`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of queries `S`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the log holds no queries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries in log order.
+    #[inline]
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The query with the given id.
+    pub fn query(&self, id: QueryId) -> &Query {
+        &self.queries[id.0 as usize]
+    }
+
+    /// Iterates `(QueryId, &Query)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Query)> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (QueryId(i as u32), q))
+    }
+
+    /// The SOC objective: total weight of the queries that retrieve `t`
+    /// under conjunctive Boolean semantics (`q ⊆ t`). With unit weights
+    /// this is the paper's "number of queries".
+    pub fn satisfied_count(&self, t: &Tuple) -> usize {
+        self.queries
+            .iter()
+            .zip(&self.weights)
+            .filter(|(q, _)| q.matches(t))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Ids of the queries that retrieve `t`.
+    pub fn satisfied_ids(&self, t: &Tuple) -> Vec<QueryId> {
+        self.iter()
+            .filter(|(_, q)| q.matches(t))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Total weight of queries that retrieve `t` under *disjunctive*
+    /// semantics.
+    pub fn satisfied_count_disjunctive(&self, t: &Tuple) -> usize {
+        self.queries
+            .iter()
+            .zip(&self.weights)
+            .filter(|(q, _)| q.matches_disjunctive(t))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Restricts the log to queries whose attributes are all present in
+    /// `t` — only those can ever be satisfied by a compression of `t`.
+    /// Pre-pruning with this shrinks ILP models considerably.
+    #[must_use]
+    pub fn restrict_to_candidate(&self, t: &Tuple) -> QueryLog {
+        self.filter(|q| q.attrs().is_subset(t.attrs()))
+    }
+
+    /// Keeps only the queries for which `keep` returns true (weights
+    /// travel with their queries).
+    #[must_use]
+    pub fn filter(&self, mut keep: impl FnMut(&Query) -> bool) -> QueryLog {
+        let mut queries = Vec::new();
+        let mut weights = Vec::new();
+        for (q, &w) in self.queries.iter().zip(&self.weights) {
+            if keep(q) {
+                queries.push(q.clone());
+                weights.push(w);
+            }
+        }
+        QueryLog {
+            schema: Arc::clone(&self.schema),
+            queries,
+            weights,
+        }
+    }
+
+    /// Per-attribute frequency: `freq[j]` = total weight of queries
+    /// specifying attribute `j`. This drives the `ConsumeAttr` greedy.
+    pub fn attribute_frequencies(&self) -> Vec<usize> {
+        let mut freq = vec![0usize; self.num_attrs()];
+        for (q, &w) in self.queries.iter().zip(&self.weights) {
+            for a in q.attrs().iter() {
+                freq[a] += w;
+            }
+        }
+        freq
+    }
+
+    /// Total weight of queries that specify *every* attribute in `attrs`
+    /// (co-occurrence count). Drives the `ConsumeAttrCumul` greedy.
+    pub fn cooccurrence_count(&self, attrs: &AttrSet) -> usize {
+        self.queries
+            .iter()
+            .zip(&self.weights)
+            .filter(|(q, _)| attrs.is_subset(q.attrs()))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Total weight of queries disjoint from `items`, i.e. the support of
+    /// `items` in the complemented log `~Q`: `freq_{~Q}(I) = |{q : q ∩ I = ∅}|`.
+    ///
+    /// This identity lets the MFI algorithm mine the dense complement
+    /// without ever materializing it (see DESIGN.md).
+    pub fn complement_support(&self, items: &AttrSet) -> usize {
+        self.queries
+            .iter()
+            .zip(&self.weights)
+            .filter(|(q, _)| q.attrs().is_disjoint(items))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Materializes the complemented log `~Q` (each query's bit-vector
+    /// flipped, weights preserved). Only used by baselines and tests;
+    /// production code uses [`QueryLog::complement_support`].
+    #[must_use]
+    pub fn complement(&self) -> QueryLog {
+        QueryLog {
+            schema: Arc::clone(&self.schema),
+            queries: self
+                .queries
+                .iter()
+                .map(|q| Query::new(q.attrs().complement()))
+                .collect(),
+            weights: self.weights.clone(),
+        }
+    }
+
+    /// Summary statistics used by experiment reports.
+    pub fn stats(&self) -> QueryLogStats {
+        let sizes: Vec<usize> = self.queries.iter().map(Query::len).collect();
+        let total: usize = sizes.iter().sum();
+        QueryLogStats {
+            num_queries: self.len(),
+            num_attrs: self.num_attrs(),
+            min_query_len: sizes.iter().copied().min().unwrap_or(0),
+            max_query_len: sizes.iter().copied().max().unwrap_or(0),
+            mean_query_len: if self.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.len() as f64
+            },
+        }
+    }
+}
+
+impl fmt::Debug for QueryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryLog")
+            .field("num_queries", &self.len())
+            .field("num_attrs", &self.num_attrs())
+            .finish()
+    }
+}
+
+/// Shape summary of a query log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryLogStats {
+    /// `S`, the number of queries.
+    pub num_queries: usize,
+    /// `M`, the number of attributes.
+    pub num_attrs: usize,
+    /// Fewest attributes specified by any query.
+    pub min_query_len: usize,
+    /// Most attributes specified by any query.
+    pub max_query_len: usize,
+    /// Mean attributes per query.
+    pub mean_query_len: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The query log of the paper's Fig 1.
+    fn fig1_log() -> QueryLog {
+        QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap()
+    }
+
+    #[test]
+    fn satisfied_counts_match_paper_example() {
+        let log = fig1_log();
+        // t' = [1,1,0,1,0,0] satisfies q1, q2, q3 (§II.A).
+        let t = Tuple::from_bitstring("110100").unwrap();
+        assert_eq!(log.satisfied_count(&t), 3);
+        assert_eq!(
+            log.satisfied_ids(&t),
+            vec![QueryId(0), QueryId(1), QueryId(2)]
+        );
+    }
+
+    #[test]
+    fn attribute_frequencies() {
+        let log = fig1_log();
+        assert_eq!(log.attribute_frequencies(), vec![2, 2, 1, 3, 1, 1]);
+    }
+
+    #[test]
+    fn cooccurrence() {
+        let log = fig1_log();
+        let ac_pd = AttrSet::from_indices(6, [0, 3]); // AC & PowerDoors
+        assert_eq!(log.cooccurrence_count(&ac_pd), 1); // only q2
+    }
+
+    #[test]
+    fn complement_support_equals_materialized() {
+        let log = fig1_log();
+        let comp = log.complement();
+        for items in [
+            AttrSet::from_indices(6, [0]),
+            AttrSet::from_indices(6, [2, 4]),
+            AttrSet::from_indices(6, [1, 2, 5]),
+            AttrSet::empty(6),
+        ] {
+            let direct = log.complement_support(&items);
+            let materialized = comp
+                .queries()
+                .iter()
+                .filter(|q| items.is_subset(q.attrs()))
+                .count();
+            assert_eq!(direct, materialized, "items = {items}");
+        }
+    }
+
+    #[test]
+    fn restrict_to_candidate() {
+        let log = fig1_log();
+        let t = Tuple::from_bitstring("110111").unwrap(); // Fig 1 new car
+        let r = log.restrict_to_candidate(&t);
+        // q2 (turbo) and q5 (turbo, auto) reference turbo which t lacks...
+        // t = AC, FourDoor, PowerDoors, AutoTrans, PowerBrakes (no Turbo).
+        // q1 {0,1} ⊆ t, q2 {0,3} ⊆ t, q3 {1,3} ⊆ t, q4 {3,5} ⊆ t, q5 {2,4} ⊄ t.
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn stats() {
+        let log = fig1_log();
+        let s = log.stats();
+        assert_eq!(s.num_queries, 5);
+        assert_eq!(s.num_attrs, 6);
+        assert_eq!(s.min_query_len, 2);
+        assert_eq!(s.max_query_len, 2);
+        assert!((s.mean_query_len - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = QueryLog::from_bitstrings(&[]).unwrap();
+        assert!(log.is_empty());
+        let t = Tuple::from_bitstring("").unwrap();
+        assert_eq!(log.satisfied_count(&t), 0);
+        assert_eq!(log.stats().mean_query_len, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match schema")]
+    fn schema_width_enforced() {
+        let schema = Arc::new(Schema::anonymous(4));
+        let q = Query::from_bitstring("110").unwrap();
+        let _ = QueryLog::new(schema, vec![q]);
+    }
+}
+
+#[cfg(test)]
+mod weight_tests {
+    use super::*;
+
+    #[test]
+    fn dedup_merges_and_preserves_objectives() {
+        let raw = QueryLog::from_bitstrings(&[
+            "1100", "1100", "0011", "1100", "0011", "1000",
+        ])
+        .unwrap();
+        let dedup = raw.deduplicate();
+        assert_eq!(dedup.len(), 3);
+        assert_eq!(dedup.total_weight(), 6);
+        assert_eq!(dedup.weight(QueryId(0)), 3); // "1100"
+        for bits in ["1100", "0011", "1111", "1000", "0000"] {
+            let t = Tuple::from_bitstring(bits).unwrap();
+            assert_eq!(raw.satisfied_count(&t), dedup.satisfied_count(&t), "{bits}");
+            assert_eq!(
+                raw.satisfied_count_disjunctive(&t),
+                dedup.satisfied_count_disjunctive(&t)
+            );
+        }
+        assert_eq!(raw.attribute_frequencies(), dedup.attribute_frequencies());
+        let items = AttrSet::from_indices(4, [0, 1]);
+        assert_eq!(raw.complement_support(&items), dedup.complement_support(&items));
+        assert_eq!(raw.cooccurrence_count(&items), dedup.cooccurrence_count(&items));
+    }
+
+    #[test]
+    fn filter_preserves_weights() {
+        let raw = QueryLog::from_bitstrings(&["1100", "1100", "0011"]).unwrap();
+        let dedup = raw.deduplicate();
+        let filtered = dedup.filter(|q| q.attrs().contains(0));
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.weight(QueryId(0)), 2);
+    }
+
+    #[test]
+    fn unit_weights_by_default() {
+        let log = QueryLog::from_bitstrings(&["10", "01"]).unwrap();
+        assert_eq!(log.total_weight(), 2);
+        assert_eq!(log.weight(QueryId(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let schema = Arc::new(Schema::anonymous(2));
+        let q = Query::from_bitstring("10").unwrap();
+        let _ = QueryLog::new_weighted(schema, vec![q], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per query")]
+    fn weight_arity_checked() {
+        let schema = Arc::new(Schema::anonymous(2));
+        let q = Query::from_bitstring("10").unwrap();
+        let _ = QueryLog::new_weighted(schema, vec![q], vec![1, 2]);
+    }
+}

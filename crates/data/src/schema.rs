@@ -1,0 +1,131 @@
+//! Attribute schemas: the named universe a database and query log share.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A typed index identifying one Boolean attribute of a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The attribute's position in its schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The set of named Boolean attributes over which tuples and queries are
+/// defined (the paper's `A = {a_1 ... a_M}`).
+///
+/// A schema is immutable after construction; databases, query logs and
+/// algorithms all reference the same schema and agree on `M = schema.len()`.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    names: Vec<String>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — lookups by name would be
+    /// ambiguous and silently wrong otherwise.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            let prev = by_name.insert(n.clone(), AttrId(i as u32));
+            assert!(prev.is_none(), "duplicate attribute name {n:?}");
+        }
+        Self { names, by_name }
+    }
+
+    /// Builds an anonymous schema of `m` attributes named `attr0..attr{m-1}`.
+    pub fn anonymous(m: usize) -> Self {
+        Self::new((0..m).map(|i| format!("attr{i}")))
+    }
+
+    /// Number of attributes `M`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the schema has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of attribute `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this schema.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All attribute names in schema order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Iterates over `(AttrId, name)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let s = Schema::new(["ac", "four_door", "turbo"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attr("turbo"), Some(AttrId(2)));
+        assert_eq!(s.attr("missing"), None);
+        assert_eq!(s.name(AttrId(0)), "ac");
+    }
+
+    #[test]
+    fn anonymous_names() {
+        let s = Schema::anonymous(4);
+        assert_eq!(s.name(AttrId(3)), "attr3");
+        assert_eq!(s.attr("attr0"), Some(AttrId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_panics() {
+        let _ = Schema::new(["x", "x"]);
+    }
+
+    #[test]
+    fn iter_order() {
+        let s = Schema::new(["a", "b"]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![(AttrId(0), "a"), (AttrId(1), "b")]);
+    }
+}

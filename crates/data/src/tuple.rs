@@ -1,0 +1,167 @@
+//! Boolean tuples, domination, and compression (§II.A of the paper).
+
+use std::fmt;
+
+use crate::{AttrSet, Schema};
+
+/// Identifier of a tuple within a [`crate::Database`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TupleId(pub u32);
+
+/// A Boolean tuple: the set of attributes whose value is 1.
+///
+/// Per §II.A, a tuple "may also be considered as a subset of A"; we use the
+/// set view directly, with [`AttrSet`] as the representation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    attrs: AttrSet,
+}
+
+impl Tuple {
+    /// Wraps an attribute set as a tuple.
+    pub fn new(attrs: AttrSet) -> Self {
+        Self { attrs }
+    }
+
+    /// Builds a tuple from the indices of its 1-valued attributes.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(universe: usize, indices: I) -> Self {
+        Self::new(AttrSet::from_indices(universe, indices))
+    }
+
+    /// Parses a Fig-1-style bit-vector string such as `"110101"`.
+    pub fn from_bitstring(s: &str) -> Option<Self> {
+        AttrSet::from_bitstring(s).map(Self::new)
+    }
+
+    /// The underlying attribute set.
+    #[inline]
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Consumes the tuple, returning its attribute set.
+    pub fn into_attrs(self) -> AttrSet {
+        self.attrs
+    }
+
+    /// Number of 1-valued attributes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.attrs.count()
+    }
+
+    /// The universe size `M`.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.attrs.universe()
+    }
+
+    /// Tuple domination (§II.A): `self` dominates `other` iff every
+    /// attribute that is 1 in `other` is also 1 in `self`.
+    #[inline]
+    pub fn dominates(&self, other: &Tuple) -> bool {
+        other.attrs.is_subset(&self.attrs)
+    }
+
+    /// Tuple compression (§II.A): retain exactly the attributes in `keep`.
+    ///
+    /// # Panics
+    /// Panics if `keep` is not a subset of this tuple's attributes —
+    /// compression may only *retain* existing 1s, never invent them.
+    #[must_use]
+    pub fn compress(&self, keep: &AttrSet) -> Tuple {
+        assert!(
+            keep.is_subset(&self.attrs),
+            "compression must retain a subset of the tuple's attributes"
+        );
+        Tuple::new(keep.clone())
+    }
+
+    /// Enumerates every compression of this tuple that retains exactly `m`
+    /// attributes (used by the brute-force algorithm). If the tuple has
+    /// fewer than `m` attributes, yields the tuple itself once.
+    pub fn compressions(&self, m: usize) -> impl Iterator<Item = Tuple> + '_ {
+        let members = self.attrs.to_indices();
+        let universe = self.universe();
+        let k = m.min(members.len());
+        crate::Combinations::new(members.len(), k).map(move |choice| {
+            Tuple::new(AttrSet::from_indices(
+                universe,
+                choice.iter().map(|&i| members[i]),
+            ))
+        })
+    }
+
+    /// Pretty-prints the tuple's 1-attributes using schema names.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let names: Vec<&str> = self
+            .attrs
+            .iter()
+            .map(|i| schema.name(crate::AttrId(i as u32)))
+            .collect();
+        names.join(", ")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tuple({})", self.attrs.to_bitstring())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination() {
+        // Fig 1: t = [1,1,0,1,1,1] dominates t4 = [1,1,0,1,0,1].
+        let t = Tuple::from_bitstring("110111").unwrap();
+        let t4 = Tuple::from_bitstring("110101").unwrap();
+        assert!(t.dominates(&t4));
+        assert!(!t4.dominates(&t));
+        assert!(t.dominates(&t));
+    }
+
+    #[test]
+    fn compression_retains_subset() {
+        let t = Tuple::from_bitstring("110111").unwrap();
+        let keep = AttrSet::from_indices(6, [0, 1, 3]);
+        let t2 = t.compress(&keep);
+        assert_eq!(t2.attrs().to_bitstring(), "110100");
+    }
+
+    #[test]
+    #[should_panic(expected = "subset")]
+    fn compression_cannot_invent_attributes() {
+        let t = Tuple::from_bitstring("1100").unwrap();
+        let keep = AttrSet::from_indices(4, [0, 2]);
+        let _ = t.compress(&keep);
+    }
+
+    #[test]
+    fn compressions_enumeration() {
+        let t = Tuple::from_bitstring("110110").unwrap(); // 4 ones
+        let all: Vec<Tuple> = t.compressions(2).collect();
+        assert_eq!(all.len(), 6); // C(4,2)
+        for c in &all {
+            assert_eq!(c.count(), 2);
+            assert!(t.dominates(c));
+        }
+    }
+
+    #[test]
+    fn compressions_when_m_exceeds_ones() {
+        let t = Tuple::from_bitstring("1010").unwrap();
+        let all: Vec<Tuple> = t.compressions(5).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], t);
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let schema = Schema::new(["ac", "turbo", "abs"]);
+        let t = Tuple::from_bitstring("101").unwrap();
+        assert_eq!(t.describe(&schema), "ac, abs");
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the data substrate: bitset algebra laws,
+//! domination/compression invariants, and reduction exactness.
+
+use proptest::prelude::*;
+use soc_data::numeric::{NumTuple, Range, RangeQuery};
+use soc_data::{AttrSet, Combinations, Database, QueryLog, Tuple};
+
+const UNIVERSE: usize = 96; // spans more than one word
+
+fn attr_set() -> impl Strategy<Value = AttrSet> {
+    proptest::collection::vec(any::<bool>(), UNIVERSE).prop_map(|bits| AttrSet::from_bools(&bits))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_idempotent(a in attr_set(), b in attr_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(
+        a in attr_set(), b in attr_set(), c in attr_set()
+    ) {
+        let lhs = a.intersection(&b.union(&c));
+        let rhs = a.intersection(&b).union(&a.intersection(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn de_morgan(a in attr_set(), b in attr_set()) {
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+        prop_assert_eq!(
+            a.intersection(&b).complement(),
+            a.complement().union(&b.complement())
+        );
+    }
+
+    #[test]
+    fn complement_is_involutive(a in attr_set()) {
+        prop_assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn subset_iff_difference_empty(a in attr_set(), b in attr_set()) {
+        prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+        prop_assert_eq!(a.is_disjoint(&b), a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn count_inclusion_exclusion(a in attr_set(), b in attr_set()) {
+        prop_assert_eq!(
+            a.union(&b).count() + a.intersection(&b).count(),
+            a.count() + b.count()
+        );
+        prop_assert_eq!(a.intersection_count(&b), a.intersection(&b).count());
+    }
+
+    #[test]
+    fn iter_roundtrip(a in attr_set()) {
+        let rebuilt = AttrSet::from_indices(UNIVERSE, a.iter());
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn subset_relation_matches_membership(a in attr_set(), b in attr_set()) {
+        let expected = a.iter().all(|i| b.contains(i));
+        prop_assert_eq!(a.is_subset(&b), expected);
+    }
+}
+
+proptest! {
+    /// Every m-compression is dominated by the original and has exactly
+    /// min(m, |t|) attributes; the enumeration is duplicate-free and
+    /// complete in count.
+    #[test]
+    fn compressions_invariants(bits in proptest::collection::vec(any::<bool>(), 1..16usize), m in 0..6usize) {
+        let t = Tuple::new(AttrSet::from_bools(&bits));
+        let ones = t.count();
+        let all: Vec<Tuple> = t.compressions(m).collect();
+        let expected = Combinations::count_total(ones, m.min(ones));
+        prop_assert_eq!(all.len() as u128, expected);
+        let mut seen = std::collections::HashSet::new();
+        for c in &all {
+            prop_assert!(t.dominates(c));
+            prop_assert_eq!(c.count(), m.min(ones));
+            prop_assert!(seen.insert(c.attrs().to_bitstring()));
+        }
+    }
+}
+
+/// Random small query logs for cross-checks.
+fn small_log() -> impl Strategy<Value = QueryLog> {
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), 10), 0..12).prop_map(
+        |rows| {
+            let sets = rows.iter().map(|r| AttrSet::from_bools(r)).collect();
+            QueryLog::from_attr_sets(10, sets)
+        },
+    )
+}
+
+proptest! {
+    /// complement_support over Q == direct support over materialized ~Q.
+    #[test]
+    fn complement_support_identity(
+        log in small_log(),
+        items in proptest::collection::vec(any::<bool>(), 10)
+    ) {
+        let items = AttrSet::from_bools(&items);
+        let direct = log.complement_support(&items);
+        let comp = log.complement();
+        let materialized = comp
+            .queries()
+            .iter()
+            .filter(|q| items.is_subset(q.attrs()))
+            .count();
+        prop_assert_eq!(direct, materialized);
+    }
+
+    /// SOC-CB-D reduction: domination counts equal satisfaction counts in
+    /// the database-as-query-log.
+    #[test]
+    fn database_as_log_reduction(
+        rows in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 8), 0..12),
+        tbits in proptest::collection::vec(any::<bool>(), 8)
+    ) {
+        let tuples = rows.iter().map(|r| Tuple::new(AttrSet::from_bools(r))).collect();
+        let db = Database::new(std::sync::Arc::new(soc_data::Schema::anonymous(8)), tuples);
+        let log = db.as_query_log();
+        let t = Tuple::new(AttrSet::from_bools(&tbits));
+        prop_assert_eq!(db.dominated_count(&t), log.satisfied_count(&t));
+    }
+}
+
+fn range_query(width: usize) -> impl Strategy<Value = RangeQuery> {
+    proptest::collection::vec(
+        proptest::option::of((0.0..50.0f64, 0.0..50.0f64)),
+        width,
+    )
+    .prop_map(|conds| RangeQuery {
+        conditions: conds
+            .into_iter()
+            .map(|c| c.map(|(a, b)| Range::new(a.min(b), a.max(b))))
+            .collect(),
+    })
+}
+
+proptest! {
+    /// Exact numeric reduction: the reduced Boolean objective equals the
+    /// direct numeric objective for every published subset of a random
+    /// sample.
+    #[test]
+    fn numeric_reduction_exact(
+        queries in proptest::collection::vec(range_query(6), 0..8),
+        values in proptest::collection::vec(0.0..50.0f64, 6),
+        published in proptest::collection::vec(any::<bool>(), 6)
+    ) {
+        let t = NumTuple { values };
+        let red = soc_data::numeric::reduce_numeric(&queries, &t);
+        let published = AttrSet::from_bools(&published);
+        let direct = queries.iter().filter(|q| q.matches(&t, &published)).count();
+        let reduced = red.log.satisfied_count(&Tuple::new(published.clone()));
+        prop_assert_eq!(direct, reduced);
+    }
+}
+
+mod io_props {
+    use super::*;
+    use soc_data::io::{parse_query_log, write_query_log};
+
+    proptest! {
+        /// Any weighted log survives a write → parse round trip.
+        #[test]
+        fn querylog_roundtrip(
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(any::<bool>(), 9), 1usize..5), 0..12),
+        ) {
+            let (queries, weights): (Vec<_>, Vec<_>) = rows
+                .iter()
+                .map(|(bits, w)| (soc_data::Query::new(AttrSet::from_bools(bits)), *w))
+                .unzip();
+            let log = QueryLog::new_weighted(
+                std::sync::Arc::new(soc_data::Schema::anonymous(9)),
+                queries,
+                weights,
+            );
+            let text = write_query_log(&log);
+            let back = parse_query_log(&text).unwrap();
+            prop_assert_eq!(back.len(), log.len());
+            prop_assert_eq!(back.total_weight(), log.total_weight());
+            for (id, q) in log.iter() {
+                prop_assert_eq!(back.query(id), q);
+                prop_assert_eq!(back.weight(id), log.weight(id));
+            }
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_is_total(text in ".{0,300}") {
+            let _ = parse_query_log(&text);
+            let _ = soc_data::io::parse_database(&text);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Micro-benchmarks for the mining substrate: support counting, the
+//! classic miners, and the maximal-itemset random walks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soc_data::AttrSet;
+use soc_itemsets::{
+    apriori, backtracking_mfi, fp_growth, top_down_walk, AprioriLimits, BacktrackLimits,
+    SupportCounter, TransactionSet,
+};
+use std::hint::black_box;
+
+/// Random sparse transactions: `rows` rows over `m` items, density `p`.
+fn table(rows: usize, m: usize, p: f64, seed: u64) -> TransactionSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TransactionSet::new(
+        m,
+        (0..rows)
+            .map(|_| {
+                AttrSet::from_indices(m, (0..m).filter(|_| rng.random::<f64>() < p))
+            })
+            .collect(),
+    )
+}
+
+fn bench_support(c: &mut Criterion) {
+    let mut group = c.benchmark_group("support_counting");
+    for rows in [500usize, 5_000, 50_000] {
+        let t = table(rows, 64, 0.1, 1);
+        let probe = AttrSet::from_indices(64, [3, 17, 40]);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &t, |b, t| {
+            b.iter(|| black_box(t.support(&probe)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frequent_itemset_miners");
+    group.sample_size(10);
+    let t = table(2_000, 24, 0.15, 2);
+    let threshold = 40;
+    group.bench_function("apriori", |b| {
+        b.iter(|| black_box(apriori(&t, threshold, &AprioriLimits::default())))
+    });
+    group.bench_function("fp_growth", |b| {
+        b.iter(|| black_box(fp_growth(&t, threshold)))
+    });
+    group.bench_function("backtracking_mfi", |b| {
+        b.iter(|| black_box(backtracking_mfi(&t, threshold, &BacktrackLimits::default())))
+    });
+    group.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_walk");
+    // Dense rows, the MFI algorithm's home turf.
+    let t = table(1_000, 48, 0.9, 3);
+    for threshold in [50usize, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("top_down", threshold),
+            &threshold,
+            |b, &r| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| black_box(top_down_walk(&t, r, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_support, bench_miners, bench_walk);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Level-wise frequent-itemset mining (Apriori, Agrawal & Srikant 1994).
+//!
+//! Included both as a correctness baseline for the random-walk miners and
+//! to reproduce the paper's §IV.C argument: on the dense complement `~Q`
+//! level-wise algorithms "will only progress past just a few initial
+//! levels before being overcome by an intractable explosion in the size of
+//! candidate sets". The [`AprioriLimits`] guards make that explosion a
+//! reportable outcome instead of an OOM.
+
+use std::collections::HashSet;
+
+use soc_data::AttrSet;
+
+use crate::SupportCounter;
+
+/// Resource guards for a level-wise run.
+#[derive(Clone, Debug)]
+pub struct AprioriLimits {
+    /// Stop after mining itemsets of this size (`usize::MAX` = no cap).
+    pub max_level: usize,
+    /// Abort if a candidate set at any level exceeds this cardinality.
+    pub max_candidates: usize,
+}
+
+impl Default for AprioriLimits {
+    fn default() -> Self {
+        Self {
+            max_level: usize::MAX,
+            max_candidates: 2_000_000,
+        }
+    }
+}
+
+/// A frequent itemset with its support.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The itemset.
+    pub items: AttrSet,
+    /// Number of supporting transactions.
+    pub support: usize,
+}
+
+/// Outcome of an Apriori run.
+#[derive(Clone, Debug)]
+pub enum AprioriOutcome {
+    /// All frequent itemsets were enumerated.
+    Complete(Vec<FrequentItemset>),
+    /// The candidate explosion guard tripped; holds the itemsets mined up
+    /// to (not including) the exploding level, and that level's candidate
+    /// count.
+    CandidateExplosion {
+        /// Frequent itemsets found before the abort.
+        partial: Vec<FrequentItemset>,
+        /// Level at which the explosion occurred.
+        level: usize,
+        /// Number of candidates generated at that level.
+        candidates: usize,
+    },
+    /// `max_level` reached; holds everything mined up to that level.
+    LevelCapped(Vec<FrequentItemset>),
+}
+
+impl AprioriOutcome {
+    /// The mined itemsets, however far the run got.
+    pub fn itemsets(&self) -> &[FrequentItemset] {
+        match self {
+            AprioriOutcome::Complete(v)
+            | AprioriOutcome::LevelCapped(v)
+            | AprioriOutcome::CandidateExplosion { partial: v, .. } => v,
+        }
+    }
+
+    /// True if every frequent itemset was enumerated.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, AprioriOutcome::Complete(_))
+    }
+}
+
+/// Mines all itemsets with `support >= threshold` level by level.
+///
+/// # Panics
+/// Panics if `threshold == 0` (every itemset would be "frequent").
+pub fn apriori<S: SupportCounter>(
+    data: &S,
+    threshold: usize,
+    limits: &AprioriLimits,
+) -> AprioriOutcome {
+    assert!(threshold > 0, "support threshold must be positive");
+    let m = data.universe();
+    let mut result: Vec<FrequentItemset> = Vec::new();
+
+    // Level 1.
+    let mut frontier: Vec<AttrSet> = Vec::new();
+    for i in 0..m {
+        let s = AttrSet::from_indices(m, [i]);
+        let sup = data.support(&s);
+        if sup >= threshold {
+            result.push(FrequentItemset {
+                items: s.clone(),
+                support: sup,
+            });
+            frontier.push(s);
+        }
+    }
+
+    let mut level = 1;
+    while !frontier.is_empty() {
+        if level >= limits.max_level {
+            return AprioriOutcome::LevelCapped(result);
+        }
+        level += 1;
+
+        // Candidate generation: join frequent (k-1)-itemsets sharing a
+        // (k-2)-prefix, then prune candidates with an infrequent subset.
+        let frequent_prev: HashSet<&AttrSet> = frontier.iter().collect();
+        let mut candidates: HashSet<AttrSet> = HashSet::new();
+        for (ai, a) in frontier.iter().enumerate() {
+            for b in &frontier[ai + 1..] {
+                let joined = a.union(b);
+                if joined.count() != level {
+                    continue;
+                }
+                if candidates.contains(&joined) {
+                    continue;
+                }
+                // Downward-closure prune: every (k-1)-subset must be frequent.
+                let all_subsets_frequent = joined
+                    .iter()
+                    .all(|i| frequent_prev.contains(&joined.without(i)));
+                if all_subsets_frequent {
+                    candidates.insert(joined);
+                    if candidates.len() > limits.max_candidates {
+                        return AprioriOutcome::CandidateExplosion {
+                            partial: result,
+                            level,
+                            candidates: candidates.len(),
+                        };
+                    }
+                }
+            }
+        }
+
+        let mut next = Vec::new();
+        for c in candidates {
+            let sup = data.support(&c);
+            if sup >= threshold {
+                result.push(FrequentItemset {
+                    items: c.clone(),
+                    support: sup,
+                });
+                next.push(c);
+            }
+        }
+        frontier = next;
+    }
+    AprioriOutcome::Complete(result)
+}
+
+/// Reference miner: enumerates all `2^M` itemsets. Test oracle for tiny
+/// universes only.
+///
+/// # Panics
+/// Panics if the universe exceeds 20 items or `threshold == 0`.
+pub fn enumerate_frequent<S: SupportCounter>(data: &S, threshold: usize) -> Vec<FrequentItemset> {
+    assert!(threshold > 0, "support threshold must be positive");
+    let m = data.universe();
+    assert!(m <= 20, "enumerate_frequent is a test oracle for tiny universes");
+    let mut out = Vec::new();
+    for mask in 0u64..(1 << m) {
+        if mask == 0 {
+            continue; // skip the empty itemset, as Apriori does
+        }
+        let set = AttrSet::from_indices(m, (0..m).filter(|&i| mask >> i & 1 == 1));
+        let sup = data.support(&set);
+        if sup >= threshold {
+            out.push(FrequentItemset {
+                items: set,
+                support: sup,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransactionSet;
+    use soc_data::AttrSet;
+
+    fn sample() -> TransactionSet {
+        // Classic market-basket example.
+        TransactionSet::new(
+            5,
+            vec![
+                AttrSet::from_indices(5, [0, 1, 4]),
+                AttrSet::from_indices(5, [1, 3]),
+                AttrSet::from_indices(5, [1, 2]),
+                AttrSet::from_indices(5, [0, 1, 3]),
+                AttrSet::from_indices(5, [0, 2]),
+                AttrSet::from_indices(5, [1, 2]),
+                AttrSet::from_indices(5, [0, 2]),
+                AttrSet::from_indices(5, [0, 1, 2, 4]),
+                AttrSet::from_indices(5, [0, 1, 2]),
+            ],
+        )
+    }
+
+    fn sorted(mut v: Vec<FrequentItemset>) -> Vec<(String, usize)> {
+        v.sort_by_key(|f| f.items.to_bitstring());
+        v.into_iter()
+            .map(|f| (f.items.to_bitstring(), f.support))
+            .collect()
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration() {
+        let t = sample();
+        for threshold in 1..=5 {
+            let got = match apriori(&t, threshold, &AprioriLimits::default()) {
+                AprioriOutcome::Complete(v) => v,
+                other => panic!("unexpected outcome {other:?}"),
+            };
+            let want = enumerate_frequent(&t, threshold);
+            assert_eq!(sorted(got), sorted(want), "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn known_supports() {
+        let t = sample();
+        let out = apriori(&t, 2, &AprioriLimits::default());
+        let items = out.itemsets();
+        let find = |bits: &str| {
+            items
+                .iter()
+                .find(|f| f.items.to_bitstring() == bits)
+                .map(|f| f.support)
+        };
+        assert_eq!(find("11000"), Some(4)); // {0,1}
+        assert_eq!(find("01100"), Some(4)); // {1,2}
+        assert_eq!(find("11100"), Some(2)); // {0,1,2}
+        assert_eq!(find("00011"), None); // {3,4} infrequent
+    }
+
+    #[test]
+    fn level_cap() {
+        let t = sample();
+        let out = apriori(
+            &t,
+            1,
+            &AprioriLimits {
+                max_level: 1,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(out, AprioriOutcome::LevelCapped(_)));
+        assert!(out.itemsets().iter().all(|f| f.items.count() == 1));
+    }
+
+    #[test]
+    fn candidate_explosion_guard() {
+        // Dense table: all rows full → C(12,2)=66 candidates at level 2.
+        let t = TransactionSet::new(12, vec![AttrSet::full(12); 3]);
+        let out = apriori(
+            &t,
+            1,
+            &AprioriLimits {
+                max_level: usize::MAX,
+                max_candidates: 50,
+            },
+        );
+        match out {
+            AprioriOutcome::CandidateExplosion { level, candidates, .. } => {
+                assert_eq!(level, 2);
+                assert!(candidates > 50);
+            }
+            other => panic!("expected explosion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_panics() {
+        let t = sample();
+        let _ = apriori(&t, 0, &AprioriLimits::default());
+    }
+}

@@ -1,0 +1,286 @@
+//! Deterministic maximal-frequent-itemset enumeration by backtracking
+//! set-enumeration search (in the GenMax / MAFIA family — the paper's
+//! references [4, 13]).
+//!
+//! The paper's two-phase random walk is fast but probabilistic: it may
+//! miss a maximal itemset, which makes `MaxFreqItemSets-SOC-CB-QL` exact
+//! only with high probability. This miner is the deterministic
+//! complement: a depth-first search over the set-enumeration tree with
+//!
+//! - *dynamic reordering* — extensions sorted by ascending support so the
+//!   most constrained branches are explored first;
+//! - *HUTMFI pruning* — if `head ∪ tail` is frequent the whole subtree
+//!   collapses into that single candidate;
+//! - *subset pruning* — a candidate is maximal iff it is not a subset of
+//!   an already-discovered maximal itemset (sound because supersets
+//!   containing earlier-ordered items are enumerated first in DFS order).
+//!
+//! Worst-case exponential (the problem is #P-hard in general), so a
+//! node budget turns pathological instances into a reported truncation
+//! instead of a hang.
+
+use soc_data::AttrSet;
+
+use crate::{FrequentItemset, SupportCounter};
+
+/// Resource limits for the backtracking search.
+#[derive(Clone, Debug)]
+pub struct BacktrackLimits {
+    /// Abort after expanding this many search nodes.
+    pub max_nodes: usize,
+    /// Abort after collecting this many maximal itemsets.
+    pub max_itemsets: usize,
+}
+
+impl Default for BacktrackLimits {
+    fn default() -> Self {
+        Self {
+            max_nodes: 5_000_000,
+            max_itemsets: 1_000_000,
+        }
+    }
+}
+
+/// Outcome of a backtracking mining run.
+#[derive(Clone, Debug)]
+pub enum BacktrackOutcome {
+    /// Every maximal frequent itemset was enumerated.
+    Complete(Vec<FrequentItemset>),
+    /// A limit tripped; the collection is sound (every element is a
+    /// maximal frequent itemset) but possibly incomplete.
+    Truncated(Vec<FrequentItemset>),
+}
+
+impl BacktrackOutcome {
+    /// The mined itemsets, complete or not.
+    pub fn itemsets(&self) -> &[FrequentItemset] {
+        match self {
+            BacktrackOutcome::Complete(v) | BacktrackOutcome::Truncated(v) => v,
+        }
+    }
+
+    /// True when the enumeration provably finished.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BacktrackOutcome::Complete(_))
+    }
+}
+
+struct Search<'a, S: SupportCounter> {
+    data: &'a S,
+    threshold: usize,
+    limits: &'a BacktrackLimits,
+    found: Vec<FrequentItemset>,
+    nodes: usize,
+    truncated: bool,
+}
+
+impl<S: SupportCounter> Search<'_, S> {
+    fn subset_of_found(&self, set: &AttrSet) -> bool {
+        self.found.iter().any(|f| set.is_subset(&f.items))
+    }
+
+    /// Expands `head` (known frequent) with candidate extensions `tail`.
+    fn expand(&mut self, head: &AttrSet, tail: &[usize]) {
+        if self.truncated {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes || self.found.len() >= self.limits.max_itemsets {
+            self.truncated = true;
+            return;
+        }
+
+        // HUTMFI: if head ∪ tail is frequent, it subsumes the subtree.
+        if !tail.is_empty() {
+            let mut hut = head.clone();
+            for &i in tail {
+                hut.insert(i);
+            }
+            let support = self.data.support(&hut);
+            if support >= self.threshold {
+                if !self.subset_of_found(&hut) {
+                    self.found.push(FrequentItemset {
+                        items: hut,
+                        support,
+                    });
+                }
+                return;
+            }
+        }
+
+        // Frequent single-item extensions, dynamically reordered by
+        // ascending support (most constrained first).
+        let mut extensions: Vec<(usize, usize)> = tail
+            .iter()
+            .filter_map(|&i| {
+                let support = self.data.support(&head.with(i));
+                (support >= self.threshold).then_some((i, support))
+            })
+            .collect();
+
+        if extensions.is_empty() {
+            // Leaf: head is locally maximal; global maximality holds iff
+            // no previously-found itemset contains it.
+            if !self.subset_of_found(head) {
+                let support = self.data.support(head);
+                self.found.push(FrequentItemset {
+                    items: head.clone(),
+                    support,
+                });
+            }
+            return;
+        }
+
+        extensions.sort_by_key(|&(i, s)| (s, i));
+        let order: Vec<usize> = extensions.iter().map(|&(i, _)| i).collect();
+        for (pos, &i) in order.iter().enumerate() {
+            let child = head.with(i);
+            let child_tail: Vec<usize> = order[pos + 1..].to_vec();
+            // Subset prune: if child ∪ child_tail is already covered by a
+            // found MFI the subtree yields nothing new.
+            let mut hull = child.clone();
+            for &j in &child_tail {
+                hull.insert(j);
+            }
+            if self.subset_of_found(&hull) {
+                continue;
+            }
+            self.expand(&child, &child_tail);
+            if self.truncated {
+                return;
+            }
+        }
+    }
+}
+
+/// Enumerates all maximal itemsets with `support >= threshold`.
+///
+/// # Panics
+/// Panics if `threshold == 0`.
+pub fn backtracking_mfi<S: SupportCounter>(
+    data: &S,
+    threshold: usize,
+    limits: &BacktrackLimits,
+) -> BacktrackOutcome {
+    assert!(threshold > 0, "support threshold must be positive");
+    let m = data.universe();
+    let empty = AttrSet::empty(m);
+    if data.support(&empty) < threshold {
+        // Even the empty itemset is infrequent: nothing is.
+        return BacktrackOutcome::Complete(Vec::new());
+    }
+    let mut search = Search {
+        data,
+        threshold,
+        limits,
+        found: Vec::new(),
+        nodes: 0,
+        truncated: false,
+    };
+    let tail: Vec<usize> = (0..m).collect();
+    search.expand(&empty, &tail);
+
+    // The empty head only survives as "maximal" when no singleton is
+    // frequent; `expand` already handles that through the leaf path.
+    let Search {
+        mut found,
+        truncated,
+        ..
+    } = search;
+    found.sort_by(|a, b| a.items.cmp(&b.items));
+    if truncated {
+        BacktrackOutcome::Truncated(found)
+    } else {
+        BacktrackOutcome::Complete(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate_maximal, TransactionSet};
+
+    fn canon(mut v: Vec<FrequentItemset>) -> Vec<(String, usize)> {
+        v.sort_by_key(|f| f.items.to_bitstring());
+        v.into_iter()
+            .map(|f| (f.items.to_bitstring(), f.support))
+            .collect()
+    }
+
+    fn sample() -> TransactionSet {
+        TransactionSet::new(
+            6,
+            vec![
+                AttrSet::from_indices(6, [0, 1, 2, 3]),
+                AttrSet::from_indices(6, [0, 1, 2]),
+                AttrSet::from_indices(6, [0, 1, 4]),
+                AttrSet::from_indices(6, [2, 3, 4]),
+                AttrSet::from_indices(6, [0, 1, 2, 3, 4]),
+                AttrSet::from_indices(6, [5]),
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration() {
+        let t = sample();
+        for threshold in 1..=4 {
+            let got = backtracking_mfi(&t, threshold, &BacktrackLimits::default());
+            assert!(got.is_complete());
+            assert_eq!(
+                canon(got.itemsets().to_vec()),
+                canon(enumerate_maximal(&t, threshold)),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_itemset_is_sole_mfi_when_nothing_frequent() {
+        let t = TransactionSet::new(4, vec![AttrSet::empty(4); 3]);
+        let got = backtracking_mfi(&t, 2, &BacktrackLimits::default());
+        assert!(got.is_complete());
+        assert_eq!(got.itemsets().len(), 1);
+        assert!(got.itemsets()[0].items.is_empty());
+        assert_eq!(got.itemsets()[0].support, 3);
+    }
+
+    #[test]
+    fn impossible_threshold() {
+        let t = sample();
+        let got = backtracking_mfi(&t, 100, &BacktrackLimits::default());
+        assert!(got.is_complete());
+        assert!(got.itemsets().is_empty());
+    }
+
+    #[test]
+    fn node_budget_truncates() {
+        // Dense table with many MFIs at threshold 1.
+        let rows: Vec<AttrSet> = (0..12)
+            .map(|i| AttrSet::from_indices(12, (0..12).filter(move |&j| j != i)))
+            .collect();
+        let t = TransactionSet::new(12, rows);
+        let got = backtracking_mfi(
+            &t,
+            1,
+            &BacktrackLimits {
+                max_nodes: 5,
+                max_itemsets: 1_000_000,
+            },
+        );
+        assert!(!got.is_complete());
+        // Sound even when truncated.
+        for f in got.itemsets() {
+            assert!(crate::is_maximal(&t, &f.items, 1));
+        }
+    }
+
+    #[test]
+    fn hutmfi_collapses_uniform_table() {
+        let t = TransactionSet::new(8, vec![AttrSet::full(8); 4]);
+        let got = backtracking_mfi(&t, 2, &BacktrackLimits::default());
+        assert!(got.is_complete());
+        assert_eq!(got.itemsets().len(), 1);
+        assert_eq!(got.itemsets()[0].items, AttrSet::full(8));
+    }
+}

@@ -1,0 +1,265 @@
+//! FP-growth frequent-itemset mining (Han, Pei & Yin, SIGMOD 2000).
+//!
+//! The second classic baseline the paper discusses in §IV.C ("the sheer
+//! number of frequent itemsets will also prevent other algorithms such as
+//! FP-Tree from being effective" on dense tables). Implemented over an
+//! arena-allocated prefix tree with per-item header chains.
+
+use std::collections::HashMap;
+
+use soc_data::AttrSet;
+
+use crate::{FrequentItemset, TransactionSet};
+
+const NO_NODE: usize = usize::MAX;
+
+struct Node {
+    item: usize,
+    count: usize,
+    parent: usize,
+    /// `(item, node)` pairs; trees are shallow and narrow enough that a
+    /// linear scan beats a hash map per node.
+    children: Vec<(usize, usize)>,
+}
+
+struct FpTree {
+    arena: Vec<Node>,
+    /// All nodes carrying each item, for conditional-base extraction.
+    header: HashMap<usize, Vec<usize>>,
+    /// Items in increasing frequency order (mining order).
+    items_ascending: Vec<usize>,
+}
+
+impl FpTree {
+    fn new() -> Self {
+        Self {
+            arena: vec![Node {
+                item: NO_NODE,
+                count: 0,
+                parent: NO_NODE,
+                children: Vec::new(),
+            }],
+            header: HashMap::new(),
+            items_ascending: Vec::new(),
+        }
+    }
+
+    /// Builds a tree from weighted transactions already filtered and
+    /// sorted by descending global frequency.
+    fn build(transactions: &[(Vec<usize>, usize)], item_freq: &HashMap<usize, usize>) -> Self {
+        let mut tree = Self::new();
+        let mut items: Vec<usize> = item_freq.keys().copied().collect();
+        items.sort_by_key(|i| (item_freq[i], *i));
+        tree.items_ascending = items;
+        for (path, weight) in transactions {
+            tree.insert(path, *weight);
+        }
+        tree
+    }
+
+    fn insert(&mut self, path: &[usize], weight: usize) {
+        let mut cur = 0usize;
+        for &item in path {
+            let found = self.arena[cur]
+                .children
+                .iter()
+                .find(|&&(it, _)| it == item)
+                .map(|&(_, n)| n);
+            let child = match found {
+                Some(n) => n,
+                None => {
+                    let n = self.arena.len();
+                    self.arena.push(Node {
+                        item,
+                        count: 0,
+                        parent: cur,
+                        children: Vec::new(),
+                    });
+                    self.arena[cur].children.push((item, n));
+                    self.header.entry(item).or_default().push(n);
+                    n
+                }
+            };
+            self.arena[child].count += weight;
+            cur = child;
+        }
+    }
+
+    /// Extracts the conditional pattern base of `item`: for each node
+    /// carrying `item`, the path to the root with the node's count.
+    fn conditional_base(&self, item: usize) -> Vec<(Vec<usize>, usize)> {
+        let mut base = Vec::new();
+        for &n in self.header.get(&item).map_or(&[][..], |v| v) {
+            let count = self.arena[n].count;
+            let mut path = Vec::new();
+            let mut cur = self.arena[n].parent;
+            while cur != 0 && cur != NO_NODE {
+                path.push(self.arena[cur].item);
+                cur = self.arena[cur].parent;
+            }
+            path.reverse();
+            if !path.is_empty() {
+                base.push((path, count));
+            }
+        }
+        base
+    }
+
+    fn item_support(&self, item: usize) -> usize {
+        self.header
+            .get(&item)
+            .map_or(0, |nodes| nodes.iter().map(|&n| self.arena[n].count).sum())
+    }
+}
+
+/// Mines all itemsets with `support >= threshold` using FP-growth.
+///
+/// # Panics
+/// Panics if `threshold == 0`.
+pub fn fp_growth(data: &TransactionSet, threshold: usize) -> Vec<FrequentItemset> {
+    assert!(threshold > 0, "support threshold must be positive");
+    let universe = data_universe(data);
+
+    // Global singleton frequencies.
+    let mut freq: HashMap<usize, usize> = HashMap::new();
+    for row in data.rows() {
+        for i in row.iter() {
+            *freq.entry(i).or_default() += 1;
+        }
+    }
+    freq.retain(|_, c| *c >= threshold);
+
+    // Project transactions onto frequent items, sorted by descending
+    // frequency (ties by ascending item id for determinism).
+    let transactions: Vec<(Vec<usize>, usize)> = data
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut path: Vec<usize> = row.iter().filter(|i| freq.contains_key(i)).collect();
+            path.sort_by_key(|i| (std::cmp::Reverse(freq[i]), *i));
+            (path, 1)
+        })
+        .filter(|(p, _)| !p.is_empty())
+        .collect();
+
+    let tree = FpTree::build(&transactions, &freq);
+    let mut out = Vec::new();
+    mine(&tree, threshold, &[], universe, &mut out);
+    out
+}
+
+fn data_universe(data: &TransactionSet) -> usize {
+    use crate::SupportCounter;
+    data.universe()
+}
+
+fn mine(
+    tree: &FpTree,
+    threshold: usize,
+    suffix: &[usize],
+    universe: usize,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for &item in &tree.items_ascending {
+        let support = tree.item_support(item);
+        if support < threshold {
+            continue;
+        }
+        let mut itemset: Vec<usize> = suffix.to_vec();
+        itemset.push(item);
+        out.push(FrequentItemset {
+            items: AttrSet::from_indices(universe, itemset.iter().copied()),
+            support,
+        });
+
+        // Conditional tree on `item`.
+        let base = tree.conditional_base(item);
+        if base.is_empty() {
+            continue;
+        }
+        let mut cond_freq: HashMap<usize, usize> = HashMap::new();
+        for (path, w) in &base {
+            for &i in path {
+                *cond_freq.entry(i).or_default() += w;
+            }
+        }
+        cond_freq.retain(|_, c| *c >= threshold);
+        if cond_freq.is_empty() {
+            continue;
+        }
+        let cond_transactions: Vec<(Vec<usize>, usize)> = base
+            .iter()
+            .map(|(path, w)| {
+                let mut p: Vec<usize> = path
+                    .iter()
+                    .copied()
+                    .filter(|i| cond_freq.contains_key(i))
+                    .collect();
+                p.sort_by_key(|i| (std::cmp::Reverse(cond_freq[i]), *i));
+                (p, *w)
+            })
+            .filter(|(p, _)| !p.is_empty())
+            .collect();
+        let cond_tree = FpTree::build(&cond_transactions, &cond_freq);
+        mine(&cond_tree, threshold, &itemset, universe, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, enumerate_frequent, AprioriLimits};
+
+    fn sample() -> TransactionSet {
+        TransactionSet::new(
+            6,
+            vec![
+                AttrSet::from_indices(6, [0, 1, 4]),
+                AttrSet::from_indices(6, [1, 3]),
+                AttrSet::from_indices(6, [1, 2]),
+                AttrSet::from_indices(6, [0, 1, 3]),
+                AttrSet::from_indices(6, [0, 2]),
+                AttrSet::from_indices(6, [1, 2]),
+                AttrSet::from_indices(6, [0, 2]),
+                AttrSet::from_indices(6, [0, 1, 2, 4]),
+                AttrSet::from_indices(6, [0, 1, 2]),
+                AttrSet::from_indices(6, [5]),
+            ],
+        )
+    }
+
+    fn canon(mut v: Vec<FrequentItemset>) -> Vec<(String, usize)> {
+        v.sort_by_key(|f| f.items.to_bitstring());
+        v.into_iter()
+            .map(|f| (f.items.to_bitstring(), f.support))
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_apriori_and_enumeration() {
+        let t = sample();
+        for threshold in 1..=4 {
+            let fp = fp_growth(&t, threshold);
+            let ap = match apriori(&t, threshold, &AprioriLimits::default()) {
+                crate::apriori::AprioriOutcome::Complete(v) => v,
+                other => panic!("{other:?}"),
+            };
+            let en = enumerate_frequent(&t, threshold);
+            assert_eq!(canon(fp.clone()), canon(en), "fp vs enum, threshold {threshold}");
+            assert_eq!(canon(fp), canon(ap), "fp vs apriori, threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn empty_result_above_max_support() {
+        let t = sample();
+        assert!(fp_growth(&t, 11).is_empty());
+    }
+
+    #[test]
+    fn single_transaction() {
+        let t = TransactionSet::new(3, vec![AttrSet::from_indices(3, [0, 2])]);
+        let fp = fp_growth(&t, 1);
+        assert_eq!(fp.len(), 3); // {0}, {2}, {0,2}
+    }
+}

@@ -1,0 +1,52 @@
+//! Good–Turing estimation of undiscovered mass (Good, Biometrika 1953 —
+//! the paper's reference [8]).
+//!
+//! After `n` random walks that each land on some maximal frequent itemset,
+//! the probability that the *next* walk discovers a previously unseen
+//! itemset is estimated by `N₁ / n`, where `N₁` is the number of itemsets
+//! seen exactly once. The paper's stopping heuristic — "stop when every
+//! discovered itemset has been seen at least twice" — is exactly the point
+//! where this estimate reaches zero.
+
+/// Good–Turing estimate of the unseen probability mass: `N₁ / n` for
+/// `n = samples` draws, where `N₁` counts species observed exactly once.
+///
+/// Returns 1.0 when no samples have been drawn (everything is unseen).
+pub fn unseen_mass(counts: impl IntoIterator<Item = usize>, samples: usize) -> f64 {
+    if samples == 0 {
+        return 1.0;
+    }
+    let singletons = counts.into_iter().filter(|&c| c == 1).count();
+    singletons as f64 / samples as f64
+}
+
+/// The paper's stopping rule: every observed species seen at least twice
+/// (equivalently, the Good–Turing unseen-mass estimate is zero).
+pub fn all_seen_twice(counts: impl IntoIterator<Item = usize>) -> bool {
+    counts.into_iter().all(|c| c >= 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_samples_means_everything_unseen() {
+        assert_eq!(unseen_mass(Vec::<usize>::new(), 0), 1.0);
+    }
+
+    #[test]
+    fn singleton_fraction() {
+        // 5 samples: species counts 1, 1, 3 → N1 = 2 → estimate 0.4.
+        let est = unseen_mass([1, 1, 3], 5);
+        assert!((est - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_when_all_seen_twice() {
+        assert_eq!(unseen_mass([2, 4, 3], 9), 0.0);
+        assert!(all_seen_twice([2, 4, 3]));
+        assert!(!all_seen_twice([2, 1, 3]));
+        assert!(all_seen_twice(Vec::<usize>::new()));
+    }
+}

@@ -1,0 +1,55 @@
+//! # soc-itemsets
+//!
+//! Frequent-itemset mining substrate for the `standout` workspace.
+//!
+//! Implements everything §IV.C of the ICDE 2008 paper builds on:
+//!
+//! - [`TransactionSet`] / [`ComplementedLog`] — transaction tables and the
+//!   virtual complemented query log `~Q` (supports counted by
+//!   disjointness, never materializing the dense table);
+//! - [`apriori`] — level-wise mining with explosion guards (the baseline
+//!   the paper argues cannot handle dense complements);
+//! - [`fp_growth`] — pattern-growth mining (the second classic baseline);
+//! - [`maximal`] — maximal-frequent-itemset random walks: the classic
+//!   bottom-up GKMS walk and the paper's two-phase top-down walk, plus the
+//!   repeated-walk miner with the Good–Turing stopping rule;
+//! - [`good_turing`] — the unseen-mass estimate behind that rule;
+//! - [`ThresholdStrategy`] — fixed / fractional / adaptive-halving
+//!   threshold selection;
+//! - [`backtracking_mfi`] — deterministic GenMax-style maximal-itemset
+//!   enumeration (provably complete; the ground-truth miner).
+//!
+//! ```
+//! use soc_data::AttrSet;
+//! use soc_itemsets::{backtracking_mfi, BacktrackLimits, TransactionSet};
+//!
+//! let table = TransactionSet::new(4, vec![
+//!     AttrSet::from_indices(4, [0, 1, 2]),
+//!     AttrSet::from_indices(4, [0, 1]),
+//!     AttrSet::from_indices(4, [2, 3]),
+//! ]);
+//! let mfis = backtracking_mfi(&table, 2, &BacktrackLimits::default());
+//! assert!(mfis.is_complete());
+//! assert_eq!(mfis.itemsets().len(), 2); // {0,1} and {2}
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apriori;
+mod backtrack;
+mod fptree;
+pub mod good_turing;
+pub mod maximal;
+mod threshold;
+mod transactions;
+
+pub use apriori::{apriori, AprioriLimits, AprioriOutcome, FrequentItemset};
+pub use backtrack::{backtracking_mfi, BacktrackLimits, BacktrackOutcome};
+pub use fptree::fp_growth;
+pub use maximal::{
+    bottom_up_walk, enumerate_maximal, is_maximal, top_down_walk, MfiConfig, MfiMiner, MfiResult,
+    StopRule, WalkDirection, WalkStats,
+};
+pub use threshold::ThresholdStrategy;
+pub use transactions::{ComplementedLog, SupportCounter, TransactionSet};

@@ -1,0 +1,110 @@
+//! Support-threshold strategies for MFI-based SOC solving (§IV.C,
+//! "Setting of the Threshold Parameter").
+//!
+//! - `r = 1` solves SOC-CB-QL exactly but makes mining slow;
+//! - a fixed fraction (e.g. 1% of the log) is fast but may come back empty
+//!   when the optimum satisfies fewer queries than the threshold;
+//! - the adaptive strategy starts high and halves until a solution exists,
+//!   which "is guaranteed to discover the optimal t'".
+
+/// How the support threshold `r` is chosen and revised.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThresholdStrategy {
+    /// Always `r = 1`: a single mining pass, guaranteed optimal.
+    Exact,
+    /// A fixed absolute threshold. The solve may return no solution if the
+    /// optimum satisfies fewer than `r` queries.
+    Fixed(usize),
+    /// A fixed fraction of the number of transactions (the paper's "1% of
+    /// the query log size" example). Same caveat as [`Self::Fixed`].
+    Fraction(f64),
+    /// Start at `initial` (or half the transaction count when `None`) and
+    /// halve on failure down to 1. Guaranteed to find the optimum.
+    AdaptiveHalving {
+        /// First threshold to try; defaults to `num_rows / 2`.
+        initial: Option<usize>,
+    },
+}
+
+impl ThresholdStrategy {
+    /// The first threshold to try for a table of `num_rows` transactions.
+    /// Always at least 1.
+    pub fn initial(&self, num_rows: usize) -> usize {
+        match *self {
+            ThresholdStrategy::Exact => 1,
+            ThresholdStrategy::Fixed(r) => r.max(1),
+            ThresholdStrategy::Fraction(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+                ((num_rows as f64 * f).ceil() as usize).max(1)
+            }
+            ThresholdStrategy::AdaptiveHalving { initial } => {
+                initial.unwrap_or(num_rows / 2).max(1)
+            }
+        }
+    }
+
+    /// The next threshold to try after `current` failed, or `None` when
+    /// the strategy does not retry (or cannot go lower).
+    pub fn next(&self, current: usize) -> Option<usize> {
+        match self {
+            ThresholdStrategy::AdaptiveHalving { .. } if current > 1 => Some(current / 2),
+            _ => None,
+        }
+    }
+
+    /// Whether a failed solve at the final threshold proves that *no*
+    /// solution exists (vs. merely that the threshold was too high).
+    pub fn exhaustive(&self) -> bool {
+        matches!(
+            self,
+            ThresholdStrategy::Exact | ThresholdStrategy::AdaptiveHalving { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_values() {
+        assert_eq!(ThresholdStrategy::Exact.initial(1000), 1);
+        assert_eq!(ThresholdStrategy::Fixed(25).initial(1000), 25);
+        assert_eq!(ThresholdStrategy::Fixed(0).initial(1000), 1);
+        assert_eq!(ThresholdStrategy::Fraction(0.01).initial(1000), 10);
+        assert_eq!(ThresholdStrategy::Fraction(0.01).initial(5), 1);
+        assert_eq!(
+            ThresholdStrategy::AdaptiveHalving { initial: None }.initial(1000),
+            500
+        );
+        assert_eq!(
+            ThresholdStrategy::AdaptiveHalving { initial: Some(64) }.initial(1000),
+            64
+        );
+    }
+
+    #[test]
+    fn halving_sequence() {
+        let s = ThresholdStrategy::AdaptiveHalving { initial: Some(40) };
+        let mut r = s.initial(100);
+        let mut seq = vec![r];
+        while let Some(nr) = s.next(r) {
+            r = nr;
+            seq.push(r);
+        }
+        assert_eq!(seq, vec![40, 20, 10, 5, 2, 1]);
+    }
+
+    #[test]
+    fn non_adaptive_never_retries() {
+        assert_eq!(ThresholdStrategy::Fixed(10).next(10), None);
+        assert_eq!(ThresholdStrategy::Fraction(0.5).next(10), None);
+        assert_eq!(ThresholdStrategy::Exact.next(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let _ = ThresholdStrategy::Fraction(1.5).initial(100);
+    }
+}

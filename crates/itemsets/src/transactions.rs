@@ -1,0 +1,155 @@
+//! Transaction collections and support counting.
+//!
+//! Mining algorithms in this crate are generic over a [`SupportCounter`]
+//! so that the SOC layer can mine the *complement* of a query log without
+//! materializing the dense table `~Q` (§IV.C of the paper): for an itemset
+//! `I`, `freq_{~Q}(I) = |{q ∈ Q : q ∩ I = ∅}|`.
+
+use soc_data::{AttrSet, QueryLog};
+
+/// Anything that can report the support of an itemset.
+pub trait SupportCounter {
+    /// Number of items in the universe (`M`).
+    fn universe(&self) -> usize;
+    /// Total number of transactions.
+    fn num_rows(&self) -> usize;
+    /// Number of transactions supporting (⊇) the itemset.
+    fn support(&self, itemset: &AttrSet) -> usize;
+}
+
+/// A plain in-memory transaction table: each row is the set of items it
+/// contains; a row supports an itemset iff the row is a superset of it.
+#[derive(Clone, Debug)]
+pub struct TransactionSet {
+    universe: usize,
+    rows: Vec<AttrSet>,
+}
+
+impl TransactionSet {
+    /// Builds a transaction set.
+    ///
+    /// # Panics
+    /// Panics if any row's universe differs from `universe`.
+    pub fn new(universe: usize, rows: Vec<AttrSet>) -> Self {
+        for r in &rows {
+            assert_eq!(r.universe(), universe, "row universe mismatch");
+        }
+        Self { universe, rows }
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[AttrSet] {
+        &self.rows
+    }
+
+    /// Materializes the complement of a query log — the dense table `~Q`.
+    /// Baselines and tests only; production mining uses
+    /// [`ComplementedLog`] instead.
+    pub fn complement_of_log(log: &QueryLog) -> Self {
+        Self::new(
+            log.num_attrs(),
+            log.queries()
+                .iter()
+                .map(|q| q.attrs().complement())
+                .collect(),
+        )
+    }
+
+    /// Builds directly from a query log (each query's attribute set is a
+    /// row).
+    pub fn from_log(log: &QueryLog) -> Self {
+        Self::new(
+            log.num_attrs(),
+            log.queries().iter().map(|q| q.attrs().clone()).collect(),
+        )
+    }
+}
+
+impl SupportCounter for TransactionSet {
+    fn universe(&self) -> usize {
+        self.universe
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn support(&self, itemset: &AttrSet) -> usize {
+        self.rows.iter().filter(|r| itemset.is_subset(r)).count()
+    }
+}
+
+/// A *virtual* view of the complement `~Q` of a query log: supports are
+/// counted by disjointness against the sparse original, so the dense table
+/// never exists in memory.
+#[derive(Clone, Debug)]
+pub struct ComplementedLog<'a> {
+    log: &'a QueryLog,
+}
+
+impl<'a> ComplementedLog<'a> {
+    /// Wraps a query log as the virtual transaction table `~Q`.
+    pub fn new(log: &'a QueryLog) -> Self {
+        Self { log }
+    }
+}
+
+impl SupportCounter for ComplementedLog<'_> {
+    fn universe(&self) -> usize {
+        self.log.num_attrs()
+    }
+
+    fn num_rows(&self) -> usize {
+        self.log.len()
+    }
+
+    fn support(&self, itemset: &AttrSet) -> usize {
+        self.log.complement_support(itemset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> TransactionSet {
+        TransactionSet::new(
+            5,
+            vec![
+                AttrSet::from_indices(5, [0, 1, 2]),
+                AttrSet::from_indices(5, [0, 1]),
+                AttrSet::from_indices(5, [1, 3]),
+                AttrSet::from_indices(5, [0, 1, 2, 3, 4]),
+            ],
+        )
+    }
+
+    #[test]
+    fn direct_support() {
+        let t = rows();
+        assert_eq!(t.support(&AttrSet::from_indices(5, [0, 1])), 3);
+        assert_eq!(t.support(&AttrSet::from_indices(5, [1])), 4);
+        assert_eq!(t.support(&AttrSet::from_indices(5, [4])), 1);
+        assert_eq!(t.support(&AttrSet::empty(5)), 4);
+    }
+
+    #[test]
+    fn virtual_complement_matches_materialized() {
+        let log =
+            QueryLog::from_bitstrings(&["11000", "00110", "10001", "01000"]).unwrap();
+        let virt = ComplementedLog::new(&log);
+        let mat = TransactionSet::complement_of_log(&log);
+        assert_eq!(virt.num_rows(), mat.num_rows());
+        // Exhaustive over all 32 itemsets.
+        for mask in 0u32..32 {
+            let set = AttrSet::from_indices(5, (0..5).filter(|&i| mask >> i & 1 == 1));
+            assert_eq!(virt.support(&set), mat.support(&set), "itemset {set}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row universe mismatch")]
+    fn universe_mismatch_panics() {
+        let _ = TransactionSet::new(4, vec![AttrSet::empty(5)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based cross-validation of the three miners: Apriori,
+//! FP-growth, and the random-walk MFI miner must all agree with
+//! exhaustive enumeration on random small transaction tables.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soc_data::AttrSet;
+use soc_itemsets::{
+    apriori, enumerate_maximal, fp_growth, is_maximal, AprioriLimits, AprioriOutcome,
+    ComplementedLog, FrequentItemset, MfiConfig, MfiMiner, StopRule, SupportCounter,
+    TransactionSet, WalkDirection,
+};
+
+const M: usize = 8;
+
+fn table() -> impl Strategy<Value = TransactionSet> {
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 1..14)
+        .prop_map(|rows| {
+            TransactionSet::new(M, rows.iter().map(|r| AttrSet::from_bools(r)).collect())
+        })
+}
+
+fn canon(mut v: Vec<FrequentItemset>) -> Vec<(String, usize)> {
+    v.sort_by_key(|f| f.items.to_bitstring());
+    v.into_iter()
+        .map(|f| (f.items.to_bitstring(), f.support))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apriori_equals_enumeration(t in table(), threshold in 1usize..5) {
+        let got = match apriori(&t, threshold, &AprioriLimits::default()) {
+            AprioriOutcome::Complete(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let want = soc_itemsets::apriori::enumerate_frequent(&t, threshold);
+        prop_assert_eq!(canon(got), canon(want));
+    }
+
+    #[test]
+    fn fp_growth_equals_enumeration(t in table(), threshold in 1usize..5) {
+        let got = fp_growth(&t, threshold);
+        let want = soc_itemsets::apriori::enumerate_frequent(&t, threshold);
+        prop_assert_eq!(canon(got), canon(want));
+    }
+
+    #[test]
+    fn downward_closure_holds(t in table(), threshold in 1usize..5) {
+        let frequent = soc_itemsets::apriori::enumerate_frequent(&t, threshold);
+        for f in &frequent {
+            for i in f.items.iter() {
+                let sub = f.items.without(i);
+                if !sub.is_empty() {
+                    prop_assert!(t.support(&sub) >= threshold);
+                }
+            }
+        }
+    }
+
+    /// The MFI miner with enough fixed iterations finds exactly the
+    /// maximal frequent itemsets, with correct supports, in both walk
+    /// directions.
+    #[test]
+    fn mfi_miner_complete_and_sound(t in table(), threshold in 1usize..4, seed in 0u64..1000) {
+        let expected = canon(enumerate_maximal(&t, threshold));
+        for direction in [WalkDirection::TopDown, WalkDirection::BottomUp] {
+            let miner = MfiMiner::new(MfiConfig {
+                threshold,
+                max_iterations: 3000,
+                min_iterations: 1,
+                direction,
+                stop: StopRule::FixedIterations(800),
+            });
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = miner.mine(&t, &mut rng);
+            for f in &result.itemsets {
+                prop_assert!(is_maximal(&t, &f.items, threshold));
+                prop_assert_eq!(f.support, t.support(&f.items));
+            }
+            prop_assert_eq!(canon(result.itemsets), expected.clone(), "{:?}", direction);
+        }
+    }
+
+    /// Mining the virtual complement of a query log equals mining the
+    /// materialized complement.
+    #[test]
+    fn virtual_complement_mining(rows in proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 1..10), threshold in 1usize..4) {
+        let log = soc_data::QueryLog::from_attr_sets(
+            M,
+            rows.iter().map(|r| AttrSet::from_bools(r)).collect(),
+        );
+        let virt = ComplementedLog::new(&log);
+        let mat = TransactionSet::complement_of_log(&log);
+        let a = canon(enumerate_maximal(&virt, threshold));
+        let b = canon(enumerate_maximal(&mat, threshold));
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Backtracking MFI enumeration is deterministic-complete: it must
+    /// equal exhaustive enumeration on every random table.
+    #[test]
+    fn backtracking_mfi_equals_enumeration(t in table(), threshold in 1usize..5) {
+        let got = soc_itemsets::backtracking_mfi(
+            &t,
+            threshold,
+            &soc_itemsets::BacktrackLimits::default(),
+        );
+        prop_assert!(got.is_complete());
+        prop_assert_eq!(
+            canon(got.itemsets().to_vec()),
+            canon(enumerate_maximal(&t, threshold))
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Micro-benchmarks for the LP/MIP solver: dense simplex solves at
+//! growing sizes, knapsack-style branch-and-bound, and the effect of a
+//! warm-start incumbent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_solver::{Cmp, LinExpr, MipOptions, Model, Sense};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random stream (avoids pulling rand into benches).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A random dense LP: maximize c·x subject to Ax ≤ b, 0 ≤ x ≤ 1.
+fn random_lp(nvars: usize, nrows: usize, seed: u64) -> Model {
+    let mut rng = Lcg(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let xs: Vec<_> = (0..nvars).map(|_| m.add_continuous(0.0, 1.0)).collect();
+    m.set_objective(LinExpr::from_terms(
+        xs.iter().map(|&x| (rng.next_f64() * 10.0, x)),
+    ));
+    for _ in 0..nrows {
+        let expr = LinExpr::from_terms(xs.iter().map(|&x| (rng.next_f64() * 4.0, x)));
+        m.add_constraint(expr, Cmp::Le, nvars as f64 * 0.8);
+    }
+    m
+}
+
+/// A correlated 0/1 knapsack with side constraints.
+fn knapsack(nvars: usize, seed: u64) -> Model {
+    let mut rng = Lcg(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let xs: Vec<_> = (0..nvars).map(|_| m.add_binary()).collect();
+    let weights: Vec<f64> = (0..nvars).map(|_| 1.0 + rng.next_f64() * 9.0).collect();
+    m.set_objective(LinExpr::from_terms(
+        xs.iter()
+            .zip(&weights)
+            .map(|(&x, &w)| (w + rng.next_f64() * 2.0, x)),
+    ));
+    m.add_constraint(
+        LinExpr::from_terms(xs.iter().zip(&weights).map(|(&x, &w)| (w, x))),
+        Cmp::Le,
+        weights.iter().sum::<f64>() * 0.4,
+    );
+    m.add_constraint(LinExpr::sum(xs.iter().copied()), Cmp::Le, (nvars / 2) as f64);
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_lp");
+    for (nvars, nrows) in [(20, 20), (60, 60), (120, 120), (240, 240)] {
+        let model = random_lp(nvars, nrows, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nvars}x{nrows}")),
+            &model,
+            |b, m| b.iter(|| black_box(m.solve_lp().unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    group.sample_size(20);
+    for nvars in [10usize, 20, 30] {
+        let model = knapsack(nvars, 3);
+        let opts = MipOptions::default();
+        group.bench_with_input(BenchmarkId::new("cold", nvars), &model, |b, m| {
+            b.iter(|| black_box(m.solve_mip(&opts).unwrap()))
+        });
+        // Warm start from the previously-found optimum: pruning is maximal.
+        let incumbent = model.solve_mip(&opts).unwrap().values;
+        let warm = MipOptions {
+            initial_solution: Some(incumbent),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("warm", nvars), &model, |b, m| {
+            b.iter(|| black_box(m.solve_mip(&warm).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_mip);
+criterion_main!(benches);

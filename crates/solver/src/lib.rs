@@ -1,0 +1,36 @@
+//! # soc-solver
+//!
+//! A from-scratch linear-programming and 0/1 integer-programming solver.
+//!
+//! The ICDE 2008 paper solves its ILP formulation (§IV.B) with an
+//! off-the-shelf branch-and-bound solver (lp_solve). No solver crate is
+//! available in this workspace's offline dependency set, so this crate
+//! provides the substrate: a bounded-variable two-phase primal simplex
+//! ([`Model::solve_lp`]) and an LP-based best-first branch-and-bound for
+//! binary programs ([`Model::solve_mip`]).
+//!
+//! ```
+//! use soc_solver::{Model, Sense, Cmp, LinExpr, MipOptions};
+//!
+//! // max x + 2y  s.t.  x + y <= 1,  x,y ∈ {0,1}
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_binary();
+//! let y = m.add_binary();
+//! m.set_objective(LinExpr::new().plus(1.0, x).plus(2.0, y));
+//! m.add_constraint(LinExpr::sum([x, y]), Cmp::Le, 1.0);
+//! let sol = m.solve_mip(&MipOptions::default()).unwrap();
+//! assert_eq!(sol.objective.round() as i64, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod branch_bound;
+mod model;
+mod presolve;
+mod simplex;
+
+pub use presolve::{presolve, presolve_stats, PresolveMap, Presolved};
+pub use model::{
+    Cmp, LinExpr, LpSolution, LpStatus, MipOptions, MipSolution, Model, Sense, SolveError, VarId,
+};

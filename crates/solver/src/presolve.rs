@@ -1,0 +1,394 @@
+//! Presolve: cheap model reductions applied before the simplex runs.
+//!
+//! The SOC ILP models are full of structure a presolver can exploit —
+//! pinned `x_j = 0` variables for attributes the tuple lacks, and
+//! `y ≤ x` rows that become singletons once a side is fixed. Reductions
+//! implemented:
+//!
+//! 1. **Fixed-variable substitution** — variables with `lower == upper`
+//!    are folded into constraint right-hand sides and removed.
+//! 2. **Singleton-row bound tightening** — a one-variable constraint is
+//!    absorbed into the variable's bounds (rounded inward for integer
+//!    variables); contradictory bounds prove infeasibility.
+//! 3. **Empty-row elimination** — rows with no surviving terms either
+//!    hold trivially or prove infeasibility.
+//! 4. **Redundant-row elimination** — a `≤` row whose worst-case
+//!    left-hand side (every variable at its most adverse finite bound)
+//!    still satisfies the right-hand side can never bind.
+//!
+//! The reductions iterate to a fixed point (substitution creates new
+//! singletons), and a [`PresolveMap`] restores full-length solutions.
+
+use crate::model::{Cmp, Model};
+
+/// Feasibility tolerance shared with the simplex.
+const EPS: f64 = 1e-9;
+
+/// Outcome of presolving a model.
+pub enum Presolved {
+    /// The model was reduced; solve `reduced` and map solutions back.
+    Reduced {
+        /// The smaller model.
+        reduced: Model,
+        /// Restores original-space solutions.
+        map: PresolveMap,
+    },
+    /// Presolve proved the model infeasible.
+    Infeasible,
+}
+
+/// Restores a reduced-space solution to the original variable space.
+pub struct PresolveMap {
+    /// For each original variable: either its fixed value or its index in
+    /// the reduced model.
+    states: Vec<VarState>,
+}
+
+enum VarState {
+    Fixed(f64),
+    Kept(usize),
+}
+
+impl PresolveMap {
+    /// Expands a reduced-model solution vector to the original arity.
+    pub fn expand(&self, reduced_values: &[f64]) -> Vec<f64> {
+        self.states
+            .iter()
+            .map(|s| match s {
+                VarState::Fixed(v) => *v,
+                VarState::Kept(i) => reduced_values[*i],
+            })
+            .collect()
+    }
+
+    /// Projects an original-space point onto the reduced variables
+    /// (used to carry warm-start incumbents through presolve).
+    pub fn project(&self, original_values: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (j, s) in self.states.iter().enumerate() {
+            if let VarState::Kept(_) = s {
+                out.push(original_values[j]);
+            }
+        }
+        out
+    }
+
+    /// Number of original variables eliminated.
+    pub fn eliminated(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, VarState::Fixed(_)))
+            .count()
+    }
+}
+
+/// Runs the reduction loop on `model`.
+pub fn presolve(model: &Model) -> Presolved {
+    // Working copies of bounds; constraints are re-filtered each round.
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    let integer: Vec<bool> = model.vars.iter().map(|v| v.integer).collect();
+
+    // Round integer bounds inward up front.
+    for j in 0..lower.len() {
+        if integer[j] {
+            lower[j] = lower[j].ceil();
+            upper[j] = upper[j].floor();
+            if lower[j] > upper[j] + EPS {
+                return Presolved::Infeasible;
+            }
+        }
+    }
+
+    let mut live_rows: Vec<bool> = vec![true; model.constraints.len()];
+    loop {
+        let mut changed = false;
+        let fixed = |j: usize, lo: &[f64], up: &[f64]| up[j] - lo[j] <= EPS;
+
+        for (ri, row) in model.constraints.iter().enumerate() {
+            if !live_rows[ri] {
+                continue;
+            }
+            // Partition into fixed (constant) and free terms.
+            let mut constant = 0.0;
+            let mut free: Vec<(usize, f64)> = Vec::new();
+            for &(j, a) in &row.terms {
+                let j = j as usize;
+                if fixed(j, &lower, &upper) {
+                    constant += a * lower[j];
+                } else if a != 0.0 {
+                    free.push((j, a));
+                }
+            }
+            let rhs = row.rhs - constant;
+
+            match free.len() {
+                0 => {
+                    let ok = match row.cmp {
+                        Cmp::Le => 0.0 <= rhs + EPS,
+                        Cmp::Ge => 0.0 >= rhs - EPS,
+                        Cmp::Eq => rhs.abs() <= EPS,
+                    };
+                    if !ok {
+                        return Presolved::Infeasible;
+                    }
+                    live_rows[ri] = false;
+                    changed = true;
+                }
+                1 => {
+                    // Singleton: fold into bounds.
+                    let (j, a) = free[0];
+                    let bound = rhs / a;
+                    let tighten_upper = match row.cmp {
+                        Cmp::Le => a > 0.0,
+                        Cmp::Ge => a < 0.0,
+                        Cmp::Eq => true,
+                    };
+                    let tighten_lower = match row.cmp {
+                        Cmp::Le => a < 0.0,
+                        Cmp::Ge => a > 0.0,
+                        Cmp::Eq => true,
+                    };
+                    if tighten_upper && bound < upper[j] - EPS {
+                        upper[j] = if integer[j] {
+                            (bound + EPS).floor()
+                        } else {
+                            bound
+                        };
+                        changed = true;
+                    }
+                    if tighten_lower && bound > lower[j] + EPS {
+                        lower[j] = if integer[j] {
+                            (bound - EPS).ceil()
+                        } else {
+                            bound
+                        };
+                        changed = true;
+                    }
+                    if lower[j] > upper[j] + EPS {
+                        return Presolved::Infeasible;
+                    }
+                    live_rows[ri] = false;
+                }
+                _ => {
+                    // Redundancy: worst-case LHS still within the rhs?
+                    if row.cmp == Cmp::Le {
+                        let mut worst = 0.0;
+                        let mut unbounded = false;
+                        for &(j, a) in &free {
+                            let extreme = if a > 0.0 { upper[j] } else { lower[j] };
+                            if extreme.is_infinite() {
+                                unbounded = true;
+                                break;
+                            }
+                            worst += a * extreme;
+                        }
+                        if !unbounded && worst <= rhs + EPS {
+                            live_rows[ri] = false;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the reduced model.
+    let mut states = Vec::with_capacity(model.vars.len());
+    let mut reduced = Model::new(model.sense);
+    for j in 0..model.vars.len() {
+        if upper[j] - lower[j] <= EPS {
+            states.push(VarState::Fixed(lower[j]));
+        } else {
+            let id = reduced.add_continuous(lower[j], upper[j]);
+            if integer[j] {
+                reduced.vars[id.index()].integer = true;
+            }
+            states.push(VarState::Kept(id.index()));
+        }
+    }
+
+    // Objective: drop fixed columns (the constant offset does not change
+    // the argmax; callers evaluate objectives in original space).
+    let mut objective = vec![0.0; reduced.num_vars()];
+    for (j, s) in states.iter().enumerate() {
+        if let VarState::Kept(i) = s {
+            objective[*i] = model.objective[j];
+        }
+    }
+    reduced.objective = objective;
+
+    for (ri, row) in model.constraints.iter().enumerate() {
+        if !live_rows[ri] {
+            continue;
+        }
+        let mut constant = 0.0;
+        let mut terms: Vec<(u32, f64)> = Vec::new();
+        for &(j, a) in &row.terms {
+            match &states[j as usize] {
+                VarState::Fixed(v) => constant += a * v,
+                VarState::Kept(i) => terms.push((*i as u32, a)),
+            }
+        }
+        reduced.constraints.push(crate::model::ConstraintDef {
+            terms,
+            cmp: row.cmp,
+            rhs: row.rhs - constant,
+        });
+    }
+
+    Presolved::Reduced {
+        reduced,
+        map: PresolveMap { states },
+    }
+}
+
+/// Presolve statistics: `(variables eliminated, rows eliminated)`, or
+/// `(usize::MAX, usize::MAX)` when presolve proves infeasibility.
+pub fn presolve_stats(model: &Model) -> (usize, usize) {
+    match presolve(model) {
+        Presolved::Reduced { reduced, map } => {
+            (map.eliminated(), model.num_constraints() - reduced.num_constraints())
+        }
+        Presolved::Infeasible => (usize::MAX, usize::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, MipOptions, Sense};
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_fixed(true);
+        let y = m.add_binary();
+        m.set_objective(LinExpr::new().plus(2.0, x).plus(1.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Le, 1.0);
+        match presolve(&m) {
+            Presolved::Reduced { reduced, map } => {
+                // x = 1 turns the row into the singleton y ≤ 0, which
+                // fixes y as well: the whole model presolves away.
+                assert_eq!(reduced.num_vars(), 0);
+                assert_eq!(map.eliminated(), 2);
+                assert_eq!(reduced.num_constraints(), 0);
+                let expanded = map.expand(&[]);
+                assert_eq!(expanded, vec![1.0, 0.0]);
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn contradictory_singletons_prove_infeasibility() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous(0.0, 10.0);
+        m.set_objective(LinExpr::new().plus(1.0, x));
+        m.add_constraint(LinExpr::new().plus(1.0, x), Cmp::Ge, 8.0);
+        m.add_constraint(LinExpr::new().plus(1.0, x), Cmp::Le, 3.0);
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary();
+        m.set_objective(LinExpr::new().plus(1.0, x));
+        // x ≤ 0.4 → integer x ≤ 0 → fixed at 0.
+        m.add_constraint(LinExpr::new().plus(1.0, x), Cmp::Le, 0.4);
+        match presolve(&m) {
+            Presolved::Reduced { reduced, map } => {
+                assert_eq!(reduced.num_vars(), 0);
+                assert_eq!(map.expand(&[]), vec![0.0]);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary();
+        let y = m.add_binary();
+        m.set_objective(LinExpr::sum([x, y]));
+        // x + y ≤ 5 can never bind for binaries.
+        m.add_constraint(LinExpr::sum([x, y]), Cmp::Le, 5.0);
+        // x + y ≤ 1 binds.
+        m.add_constraint(LinExpr::sum([x, y]), Cmp::Le, 1.0);
+        match presolve(&m) {
+            Presolved::Reduced { reduced, .. } => {
+                assert_eq!(reduced.num_constraints(), 1);
+                assert_eq!(reduced.num_vars(), 2);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn projection_carries_warm_starts() {
+        let mut m = Model::new(Sense::Maximize);
+        let _fixed = m.add_binary_fixed(false);
+        let y = m.add_binary();
+        let z = m.add_binary();
+        m.set_objective(LinExpr::sum([y, z]));
+        m.add_constraint(LinExpr::sum([y, z]), Cmp::Le, 1.0);
+        match presolve(&m) {
+            Presolved::Reduced { map, .. } => {
+                let projected = map.project(&[0.0, 1.0, 0.0]);
+                assert_eq!(projected, vec![1.0, 0.0]);
+                assert_eq!(map.expand(&projected), vec![0.0, 1.0, 0.0]);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn soc_shaped_model_shrinks_dramatically() {
+        // 6 attributes, 3 pinned off; 4 queries, 2 referencing pinned
+        // attributes (their y is forced to 0 by singleton tightening).
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..6)
+            .map(|j| {
+                if j < 3 {
+                    m.add_binary()
+                } else {
+                    m.add_binary_fixed(false)
+                }
+            })
+            .collect();
+        let queries: &[&[usize]] = &[&[0, 1], &[1, 2], &[3, 4], &[0, 5]];
+        let mut obj = LinExpr::new();
+        for q in queries {
+            let y = m.add_binary();
+            obj = obj.plus(1.0, y);
+            for &j in *q {
+                m.add_constraint(LinExpr::new().plus(1.0, y).plus(-1.0, xs[j]), Cmp::Le, 0.0);
+            }
+        }
+        m.set_objective(obj);
+        m.add_constraint(LinExpr::sum(xs.iter().copied()), Cmp::Le, 2.0);
+
+        let before_vars = m.num_vars();
+        match presolve(&m) {
+            Presolved::Reduced { reduced, map } => {
+                // 3 pinned x's and the 2 dead y's must disappear.
+                assert!(map.eliminated() >= 5, "eliminated {}", map.eliminated());
+                assert!(reduced.num_vars() <= before_vars - 5);
+                // Optimum must be preserved end-to-end.
+                let opts = MipOptions {
+                    integral_objective: true,
+                    ..Default::default()
+                };
+                let full = m.solve_mip(&opts).unwrap();
+                let red = reduced.solve_mip(&opts).unwrap();
+                let expanded = map.expand(&red.values);
+                assert!((m.objective_value(&expanded) - full.objective).abs() < 1e-6);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! Two-phase primal simplex with bounded variables.
+//!
+//! The implementation follows the classic bounded-variable tableau method
+//! (Chvátal ch. 8) with one simplification that keeps the code close to
+//! the textbook unbounded case: a nonbasic variable "at its upper bound"
+//! is represented by *substituting* `x = u − t` (negating its column and
+//! adjusting the right-hand side), so every nonbasic variable always sits
+//! at zero in its current coordinate. Bound flips and pivots then use the
+//! ordinary simplex algebra.
+//!
+//! Scale target: the SOC ILP relaxations have a few hundred rows and
+//! columns (§IV.B); a dense tableau is simple, cache-friendly and fast
+//! enough, and the branch-and-bound layer re-solves from scratch per node.
+
+use crate::model::{Cmp, LpSolution, LpStatus, Model, Sense, SolveError};
+
+/// Feasibility / reduced-cost tolerance.
+const EPS: f64 = 1e-9;
+/// Smallest acceptable pivot magnitude.
+const PIVOT_TOL: f64 = 1e-9;
+/// Iterations of non-improvement before switching to Bland's rule.
+const STALL_LIMIT: usize = 200;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VarKind {
+    Structural,
+    Slack,
+    Artificial,
+}
+
+/// Dense bounded-variable simplex state.
+struct Tableau {
+    /// Rows of the constraint matrix in the current basis.
+    rows: Vec<Vec<f64>>,
+    /// Current value of the basic variable of each row.
+    rhs: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Reduced-cost row (current coordinates).
+    cbar: Vec<f64>,
+    /// Current objective value.
+    zval: f64,
+    /// Range length of each variable in shifted coordinates
+    /// (`upper − lower`; may be `f64::INFINITY`).
+    range: Vec<f64>,
+    /// Whether the variable's column is currently substituted `x = u − t`.
+    flipped: Vec<bool>,
+    /// Whether the variable is basic, and in which row.
+    in_basis: Vec<Option<usize>>,
+    /// Kind of each column.
+    kind: Vec<VarKind>,
+    /// Columns barred from entering (artificials in phase 2).
+    banned: Vec<bool>,
+    iterations: usize,
+    stall: usize,
+    /// Variable that left the basis in the most recent pivot; the
+    /// upper-bound leaving case needs to flip it right after the pivot.
+    basis_prev: usize,
+}
+
+enum Step {
+    Optimal,
+    Unbounded,
+    Continue,
+}
+
+impl Tableau {
+    fn ncols(&self) -> usize {
+        self.cbar.len()
+    }
+
+    /// Applies the substitution `x_j := u_j − t_j` (or back): negates the
+    /// column, adjusts rhs and objective for the constant `u_j`.
+    fn flip(&mut self, j: usize) {
+        let u = self.range[j];
+        debug_assert!(u.is_finite(), "cannot flip an unbounded column");
+        for (row, rhs) in self.rows.iter_mut().zip(self.rhs.iter_mut()) {
+            *rhs -= row[j] * u;
+            row[j] = -row[j];
+        }
+        self.zval += self.cbar[j] * u;
+        self.cbar[j] = -self.cbar[j];
+        self.flipped[j] = !self.flipped[j];
+    }
+
+    /// Chooses the entering column: Dantzig rule normally, Bland's rule
+    /// when stalled. Returns `None` at optimality.
+    fn choose_entering(&self) -> Option<usize> {
+        let bland = self.stall >= STALL_LIMIT;
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.ncols() {
+            if self.banned[j] || self.in_basis[j].is_some() || self.range[j] <= EPS {
+                continue;
+            }
+            let d = self.cbar[j];
+            if d > EPS {
+                if bland {
+                    return Some(j);
+                }
+                if best.is_none_or(|(_, bd)| d > bd) {
+                    best = Some((j, d));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// One simplex iteration (maximization in current coordinates).
+    fn step(&mut self) -> Step {
+        let Some(e) = self.choose_entering() else {
+            return Step::Optimal;
+        };
+        // Ratio test: how far can t_e increase?
+        let mut limit = self.range[e]; // bound-flip cap (may be inf)
+        let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+        let bland = self.stall >= STALL_LIMIT;
+        for i in 0..self.rows.len() {
+            let a = self.rows[i][e];
+            let b = self.basis[i];
+            if a > PIVOT_TOL {
+                // Basic value decreases; hits its lower bound (0).
+                let ratio = (self.rhs[i].max(0.0)) / a;
+                let better = ratio < limit - EPS
+                    || (ratio < limit + EPS
+                        && match leave {
+                            None => true,
+                            Some((r, _)) => {
+                                if bland {
+                                    self.basis[i] < self.basis[r]
+                                } else {
+                                    a.abs() > self.rows[r][e].abs()
+                                }
+                            }
+                        });
+                if better {
+                    limit = ratio.min(limit);
+                    leave = Some((i, false));
+                }
+            } else if a < -PIVOT_TOL {
+                // Basic value increases; hits its upper bound, if finite.
+                let ub = self.range[b];
+                if ub.is_finite() {
+                    let ratio = (ub - self.rhs[i]).max(0.0) / (-a);
+                    let better = ratio < limit - EPS
+                        || (ratio < limit + EPS
+                            && match leave {
+                                None => true,
+                                Some((r, _)) => {
+                                    if bland {
+                                        self.basis[i] < self.basis[r]
+                                    } else {
+                                        a.abs() > self.rows[r][e].abs()
+                                    }
+                                }
+                            });
+                    if better {
+                        limit = ratio.min(limit);
+                        leave = Some((i, true));
+                    }
+                }
+            }
+        }
+
+        if limit.is_infinite() {
+            return Step::Unbounded;
+        }
+
+        let improvement = self.cbar[e] * limit;
+        match leave {
+            None => {
+                // Pure bound flip of the entering variable.
+                self.flip(e);
+            }
+            Some((r, at_upper)) => {
+                self.pivot(r, e);
+                if at_upper {
+                    // The leaving variable sits at its upper bound: restore
+                    // the invariant that nonbasics are at zero.
+                    let l = self.basis_prev;
+                    self.flip(l);
+                }
+            }
+        }
+        self.iterations += 1;
+        if improvement > EPS {
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+        Step::Continue
+    }
+
+    fn pivot(&mut self, r: usize, e: usize) {
+        let l = self.basis[r];
+        let piv = self.rows[r][e];
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot too small");
+        let inv = 1.0 / piv;
+        for v in self.rows[r].iter_mut() {
+            *v *= inv;
+        }
+        self.rhs[r] *= inv;
+        let pivot_row = self.rows[r].clone();
+        let pivot_rhs = self.rhs[r];
+        for i in 0..self.rows.len() {
+            if i == r {
+                continue;
+            }
+            let f = self.rows[i][e];
+            if f != 0.0 {
+                for (v, p) in self.rows[i].iter_mut().zip(&pivot_row) {
+                    *v -= f * p;
+                }
+                self.rows[i][e] = 0.0; // exact
+                self.rhs[i] -= f * pivot_rhs;
+            }
+        }
+        let f = self.cbar[e];
+        if f != 0.0 {
+            for (v, p) in self.cbar.iter_mut().zip(&pivot_row) {
+                *v -= f * p;
+            }
+            self.cbar[e] = 0.0;
+            self.zval += f * pivot_rhs;
+        }
+        self.basis[r] = e;
+        self.in_basis[l] = None;
+        self.in_basis[e] = Some(r);
+        self.basis_prev = l;
+    }
+
+    /// Runs simplex to optimality on the current objective.
+    fn optimize(&mut self, max_iters: usize) -> Result<LpStatus, SolveError> {
+        loop {
+            if self.iterations > max_iters {
+                return Err(SolveError::IterationLimit);
+            }
+            match self.step() {
+                Step::Optimal => return Ok(LpStatus::Optimal),
+                Step::Unbounded => return Ok(LpStatus::Unbounded),
+                Step::Continue => {}
+            }
+        }
+    }
+
+    /// Resets the objective to `costs` (expressed on original columns) and
+    /// re-prices in the current basis / coordinates.
+    fn set_objective(&mut self, costs: &[f64]) {
+        let n = self.ncols();
+        self.zval = 0.0;
+        for j in 0..n {
+            let c = costs.get(j).copied().unwrap_or(0.0);
+            if self.flipped[j] {
+                self.cbar[j] = -c;
+                self.zval += c * self.range[j];
+            } else {
+                self.cbar[j] = c;
+            }
+        }
+        // Price out the basic variables.
+        for i in 0..self.rows.len() {
+            let k = self.basis[i];
+            let f = self.cbar[k];
+            if f != 0.0 {
+                let row = self.rows[i].clone();
+                for (v, p) in self.cbar.iter_mut().zip(&row) {
+                    *v -= f * p;
+                }
+                self.cbar[k] = 0.0;
+                self.zval += f * self.rhs[i];
+            }
+        }
+        self.stall = 0;
+    }
+
+    /// Current value of column `j` in *shifted* coordinates.
+    fn shifted_value(&self, j: usize) -> f64 {
+        let t = match self.in_basis[j] {
+            Some(r) => self.rhs[r],
+            None => 0.0,
+        };
+        if self.flipped[j] {
+            self.range[j] - t
+        } else {
+            t
+        }
+    }
+}
+
+/// Bound overrides used by branch-and-bound to fix binary variables
+/// without rebuilding the model.
+pub(crate) type BoundOverrides = [(usize, f64, f64)];
+
+/// Solves the LP relaxation of `model`, optionally overriding variable
+/// bounds (var index, lower, upper).
+pub(crate) fn solve_model(
+    model: &Model,
+    overrides: Option<&BoundOverrides>,
+) -> Result<LpSolution, SolveError> {
+    let n = model.num_vars();
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    if let Some(ovr) = overrides {
+        for &(j, lo, hi) in ovr {
+            lower[j] = lo;
+            upper[j] = hi;
+            if lo > hi {
+                return Ok(LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: 0.0,
+                    values: vec![],
+                })
+            }
+        }
+    }
+
+    // Shift variables so lower bounds are zero; track the objective
+    // constant contributed by the shift.
+    let sign = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let obj_const: f64 = model
+        .objective
+        .iter()
+        .zip(&lower)
+        .map(|(c, lo)| sign * c * lo)
+        .sum();
+
+    // Build equality rows over columns [structural | slacks | artificials].
+    let m = model.num_constraints();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut slack_of_row: Vec<Option<Cmp>> = Vec::with_capacity(m);
+    for c in &model.constraints {
+        let mut dense = vec![0.0; n];
+        for &(j, a) in &c.terms {
+            dense[j as usize] += a;
+        }
+        let shift: f64 = dense
+            .iter()
+            .enumerate()
+            .map(|(j, a)| a * lower[j])
+            .sum();
+        let (mut dense, mut b, cmp) = match c.cmp {
+            Cmp::Le => (dense, c.rhs - shift, Cmp::Le),
+            Cmp::Eq => (dense, c.rhs - shift, Cmp::Eq),
+            Cmp::Ge => {
+                // Negate into a ≤ row.
+                for a in dense.iter_mut() {
+                    *a = -*a;
+                }
+                (dense, -(c.rhs - shift), Cmp::Le)
+            }
+        };
+        // Normalize so rhs >= 0 (slack coefficient recorded separately).
+        let negated = b < 0.0;
+        if negated {
+            for a in dense.iter_mut() {
+                *a = -*a;
+            }
+            b = -b;
+        }
+        rows.push(dense);
+        rhs.push(b);
+        slack_of_row.push(match (cmp, negated) {
+            (Cmp::Le, false) => Some(Cmp::Le), // +1 slack, can start basic
+            (Cmp::Le, true) => Some(Cmp::Ge),  // −1 surplus, needs artificial
+            (Cmp::Eq, _) => None,
+            (Cmp::Ge, _) => unreachable!(),
+        });
+    }
+
+    // Column layout.
+    let mut range: Vec<f64> = (0..n).map(|j| upper[j] - lower[j]).collect();
+    let mut kind = vec![VarKind::Structural; n];
+    let mut col_rows: Vec<Vec<f64>> = rows; // will extend with slack/artificial columns
+
+    let mut slack_col: Vec<Option<usize>> = vec![None; m];
+    let mut next = n;
+    for (i, s) in slack_of_row.iter().enumerate() {
+        if s.is_some() {
+            slack_col[i] = Some(next);
+            next += 1;
+            range.push(f64::INFINITY);
+            kind.push(VarKind::Slack);
+        }
+    }
+    let mut art_col: Vec<Option<usize>> = vec![None; m];
+    for i in 0..m {
+        let needs_artificial = !matches!(slack_of_row[i], Some(Cmp::Le));
+        if needs_artificial {
+            art_col[i] = Some(next);
+            next += 1;
+            range.push(f64::INFINITY);
+            kind.push(VarKind::Artificial);
+        }
+    }
+    let total = next;
+    for (i, row) in col_rows.iter_mut().enumerate() {
+        row.resize(total, 0.0);
+        if let Some(sc) = slack_col[i] {
+            row[sc] = match slack_of_row[i] {
+                Some(Cmp::Le) => 1.0,
+                Some(Cmp::Ge) => -1.0,
+                _ => unreachable!(),
+            };
+        }
+        if let Some(ac) = art_col[i] {
+            row[ac] = 1.0;
+        }
+    }
+
+    // Initial basis: slack for plain ≤ rows, artificial otherwise.
+    let mut basis = Vec::with_capacity(m);
+    let mut in_basis = vec![None; total];
+    for i in 0..m {
+        let b = art_col[i].or(slack_col[i]).expect("every row has a basic column");
+        basis.push(b);
+        in_basis[b] = Some(i);
+    }
+
+    let mut tab = Tableau {
+        rows: col_rows,
+        rhs,
+        basis,
+        cbar: vec![0.0; total],
+        zval: 0.0,
+        range,
+        flipped: vec![false; total],
+        in_basis,
+        kind,
+        banned: vec![false; total],
+        iterations: 0,
+        stall: 0,
+        basis_prev: 0,
+    };
+
+    let max_iters = 200 * (m + total) + 20_000;
+    let has_artificials = art_col.iter().any(Option::is_some);
+
+    if has_artificials {
+        // Phase 1: maximize −Σ artificials.
+        let p1: Vec<f64> = tab
+            .kind
+            .iter()
+            .map(|k| if *k == VarKind::Artificial { -1.0 } else { 0.0 })
+            .collect();
+        tab.set_objective(&p1);
+        let status = tab.optimize(max_iters)?;
+        debug_assert!(status != LpStatus::Unbounded, "phase 1 cannot be unbounded");
+        if tab.zval < -1e-7 {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: vec![],
+            });
+        }
+        // Drive any basic artificial (at value 0) out of the basis.
+        for i in 0..m {
+            let b = tab.basis[i];
+            if tab.kind[b] == VarKind::Artificial {
+                let pivot_col = (0..total).find(|&j| {
+                    tab.kind[j] != VarKind::Artificial
+                        && tab.in_basis[j].is_none()
+                        && tab.rows[i][j].abs() > 1e-7
+                });
+                if let Some(j) = pivot_col {
+                    tab.pivot(i, j);
+                }
+                // If no pivot column exists the row is redundant; the
+                // artificial stays basic at 0 and is harmless because its
+                // column is banned below.
+            }
+        }
+        for j in 0..total {
+            if tab.kind[j] == VarKind::Artificial {
+                tab.banned[j] = true;
+            }
+        }
+    }
+
+    // Phase 2: the real objective (in shifted coordinates).
+    let mut p2 = vec![0.0; total];
+    for (slot, c) in p2.iter_mut().zip(&model.objective) {
+        *slot = sign * c;
+    }
+    tab.set_objective(&p2);
+    let status = tab.optimize(max_iters)?;
+    if status == LpStatus::Unbounded {
+        return Ok(LpSolution {
+            status: LpStatus::Unbounded,
+            objective: 0.0,
+            values: vec![],
+        });
+    }
+
+    let values: Vec<f64> = (0..n).map(|j| tab.shifted_value(j) + lower[j]).collect();
+    let objective = sign * (tab.zval + obj_const);
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model};
+
+    fn lp(sense: Sense) -> Model {
+        Model::new(sense)
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y, x<=4, 2y<=12, 3x+2y<=18 → (2,6), z=36.
+        let mut m = lp(Sense::Maximize);
+        let x = m.add_continuous(0.0, f64::INFINITY);
+        let y = m.add_continuous(0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().plus(3.0, x).plus(5.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x), Cmp::Le, 4.0);
+        m.add_constraint(LinExpr::new().plus(2.0, y), Cmp::Le, 12.0);
+        m.add_constraint(LinExpr::new().plus(3.0, x).plus(2.0, y), Cmp::Le, 18.0);
+        let s = m.solve_lp().unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y, x+y>=4, x>=0, y>=0 → (4,0), z=8.
+        let mut m = lp(Sense::Minimize);
+        let x = m.add_continuous(0.0, f64::INFINITY);
+        let y = m.add_continuous(0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().plus(2.0, x).plus(3.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Ge, 4.0);
+        let s = m.solve_lp().unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 8.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!((s.values[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + y, x + y == 3, x <= 2, y <= 2 → z = 3.
+        let mut m = lp(Sense::Maximize);
+        let x = m.add_continuous(0.0, 2.0);
+        let y = m.add_continuous(0.0, 2.0);
+        m.set_objective(LinExpr::new().plus(1.0, x).plus(1.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Eq, 3.0);
+        let s = m.solve_lp().unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert!(m.is_feasible(&s.values, 1e-6) || {
+            // LP relaxation ignores integrality; check constraints directly.
+            (s.values[0] + s.values[1] - 3.0).abs() < 1e-6
+        });
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let mut m = lp(Sense::Maximize);
+        let x = m.add_continuous(0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().plus(1.0, x));
+        m.add_constraint(LinExpr::new().plus(1.0, x), Cmp::Le, 1.0);
+        m.add_constraint(LinExpr::new().plus(1.0, x), Cmp::Ge, 2.0);
+        let s = m.solve_lp().unwrap();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = lp(Sense::Maximize);
+        let x = m.add_continuous(0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().plus(1.0, x));
+        m.add_constraint(LinExpr::new().plus(-1.0, x), Cmp::Le, 1.0);
+        let s = m.solve_lp().unwrap();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // max x + y with x,y in [0,1], x + y <= 5 → z = 2 at (1,1).
+        let mut m = lp(Sense::Maximize);
+        let x = m.add_continuous(0.0, 1.0);
+        let y = m.add_continuous(0.0, 1.0);
+        m.set_objective(LinExpr::new().plus(1.0, x).plus(1.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Le, 5.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert!((s.values[0] - 1.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // min x + y with x in [2,5], y in [3,9], x + y >= 7 → z = 7.
+        let mut m = lp(Sense::Minimize);
+        let x = m.add_continuous(2.0, 5.0);
+        let y = m.add_continuous(3.0, 9.0);
+        m.set_objective(LinExpr::new().plus(1.0, x).plus(1.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Ge, 7.0);
+        let s = m.solve_lp().unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 7.0).abs() < 1e-6, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn negative_objective_coefficients() {
+        // max −x − 2y with x ≥ 1 forced via equality x + y == 2, y ∈ [0,2].
+        let mut m = lp(Sense::Maximize);
+        let x = m.add_continuous(0.0, 2.0);
+        let y = m.add_continuous(0.0, 2.0);
+        m.set_objective(LinExpr::new().plus(-1.0, x).plus(-2.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Eq, 2.0);
+        let s = m.solve_lp().unwrap();
+        // Best: x = 2, y = 0 → −2.
+        assert!((s.objective + 2.0).abs() < 1e-6, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn fixed_variables() {
+        let mut m = lp(Sense::Maximize);
+        let x = m.add_continuous(1.5, 1.5);
+        let y = m.add_continuous(0.0, 10.0);
+        m.set_objective(LinExpr::new().plus(1.0, x).plus(1.0, y));
+        m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Le, 4.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.values[0] - 1.5).abs() < 1e-9);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Klee–Minty-ish degenerate instance; just verify termination and
+        // a correct optimum.
+        let mut m = lp(Sense::Maximize);
+        let x1 = m.add_continuous(0.0, f64::INFINITY);
+        let x2 = m.add_continuous(0.0, f64::INFINITY);
+        let x3 = m.add_continuous(0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().plus(100.0, x1).plus(10.0, x2).plus(1.0, x3));
+        m.add_constraint(LinExpr::new().plus(1.0, x1), Cmp::Le, 1.0);
+        m.add_constraint(LinExpr::new().plus(20.0, x1).plus(1.0, x2), Cmp::Le, 100.0);
+        m.add_constraint(
+            LinExpr::new().plus(200.0, x1).plus(20.0, x2).plus(1.0, x3),
+            Cmp::Le,
+            10000.0,
+        );
+        let s = m.solve_lp().unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 10000.0).abs() < 1e-4, "objective {}", s.objective);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based validation of the solver: branch-and-bound must agree
+//! with exhaustive 0/1 enumeration, and the LP relaxation must bound the
+//! integer optimum from the correct side.
+
+use proptest::prelude::*;
+use soc_solver::{Cmp, LinExpr, MipOptions, Model, Sense};
+
+#[derive(Clone, Debug)]
+struct RandomBip {
+    nvars: usize,
+    objective: Vec<i32>,
+    /// Constraints: (coefficients, rhs), all `<=`.
+    constraints: Vec<(Vec<i32>, i32)>,
+}
+
+fn random_bip() -> impl Strategy<Value = RandomBip> {
+    (2usize..7).prop_flat_map(|nvars| {
+        let obj = proptest::collection::vec(-5..10i32, nvars);
+        let cons = proptest::collection::vec(
+            (proptest::collection::vec(-3..6i32, nvars), 0..12i32),
+            0..5,
+        );
+        (Just(nvars), obj, cons).prop_map(|(nvars, objective, constraints)| RandomBip {
+            nvars,
+            objective,
+            constraints,
+        })
+    })
+}
+
+fn build(bip: &RandomBip) -> (Model, Vec<soc_solver::VarId>) {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..bip.nvars).map(|_| m.add_binary()).collect();
+    m.set_objective(LinExpr::from_terms(
+        bip.objective
+            .iter()
+            .zip(&vars)
+            .map(|(&c, &v)| (c as f64, v)),
+    ));
+    for (coefs, rhs) in &bip.constraints {
+        m.add_constraint(
+            LinExpr::from_terms(coefs.iter().zip(&vars).map(|(&c, &v)| (c as f64, v))),
+            Cmp::Le,
+            *rhs as f64,
+        );
+    }
+    (m, vars)
+}
+
+/// Exhaustive optimum over all 2^n assignments; `None` if infeasible.
+fn brute_force(bip: &RandomBip) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << bip.nvars) {
+        let x: Vec<i64> = (0..bip.nvars).map(|j| ((mask >> j) & 1) as i64).collect();
+        let feasible = bip.constraints.iter().all(|(coefs, rhs)| {
+            let lhs: i64 = coefs.iter().zip(&x).map(|(&c, &v)| c as i64 * v).sum();
+            lhs <= *rhs as i64
+        });
+        if feasible {
+            let obj: i64 = bip
+                .objective
+                .iter()
+                .zip(&x)
+                .map(|(&c, &v)| c as i64 * v)
+                .sum();
+            best = Some(best.map_or(obj, |b: i64| b.max(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mip_matches_exhaustive_enumeration(bip in random_bip()) {
+        let expected = brute_force(&bip);
+        let (model, _) = build(&bip);
+        let opts = MipOptions { integral_objective: true, ..Default::default() };
+        match (expected, model.solve_mip(&opts)) {
+            (Some(best), Ok(sol)) => {
+                prop_assert!(
+                    (sol.objective - best as f64).abs() < 1e-6,
+                    "solver {} vs brute force {best}", sol.objective
+                );
+                prop_assert!(model.is_feasible(&sol.values, 1e-6));
+                prop_assert!(sol.proven_optimal);
+            }
+            (None, Err(_)) => {} // both infeasible
+            (exp, got) => prop_assert!(false, "mismatch: expected {exp:?}, got {got:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_mip_from_above(bip in random_bip()) {
+        let (model, _) = build(&bip);
+        let lp = model.solve_lp().unwrap();
+        let opts = MipOptions { integral_objective: true, ..Default::default() };
+        if let Ok(mip) = model.solve_mip(&opts) {
+            prop_assert_eq!(lp.status, soc_solver::LpStatus::Optimal);
+            prop_assert!(
+                lp.objective >= mip.objective - 1e-6,
+                "LP bound {} below MIP optimum {}", lp.objective, mip.objective
+            );
+        }
+    }
+
+    /// LP solutions must be primal-feasible (bounds + constraints) even on
+    /// adversarial random instances.
+    #[test]
+    fn lp_solutions_are_feasible(bip in random_bip()) {
+        let (model, _) = build(&bip);
+        let lp = model.solve_lp().unwrap();
+        if lp.status == soc_solver::LpStatus::Optimal {
+            for (j, &v) in lp.values.iter().enumerate() {
+                prop_assert!((-1e-7..=1.0 + 1e-7).contains(&v), "var {j} = {v}");
+            }
+            for (coefs, rhs) in &bip.constraints {
+                let lhs: f64 = coefs.iter().zip(&lp.values).map(|(&c, &v)| c as f64 * v).sum();
+                prop_assert!(lhs <= *rhs as f64 + 1e-6, "constraint violated: {lhs} > {rhs}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Presolve preserves optima: solving with and without the reduction
+    /// pass must agree on random binary programs.
+    #[test]
+    fn presolve_preserves_optimum(bip in random_bip()) {
+        let (model, _) = build(&bip);
+        let opts = MipOptions { integral_objective: true, ..Default::default() };
+        let with = model.solve_mip(&opts);
+        let without = model.solve_mip_no_presolve(&opts);
+        match (with, without) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!((a.objective - b.objective).abs() < 1e-6,
+                    "presolved {} vs raw {}", a.objective, b.objective);
+                prop_assert!(model.is_feasible(&a.values, 1e-6));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Presolve never invents feasibility or infeasibility.
+    #[test]
+    fn presolve_infeasibility_is_sound(bip in random_bip()) {
+        let (model, _) = build(&bip);
+        let brute = brute_force(&bip);
+        match soc_solver::presolve(&model) {
+            soc_solver::Presolved::Infeasible => prop_assert!(brute.is_none()),
+            soc_solver::Presolved::Reduced { reduced, map } => {
+                // Any reduced feasible point expands to a feasible point.
+                let opts = MipOptions { integral_objective: true, ..Default::default() };
+                if let Ok(sol) = reduced.solve_mip_no_presolve(&opts) {
+                    let expanded = map.expand(&sol.values);
+                    prop_assert!(model.is_feasible(&expanded, 1e-6));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Inverted index with BM25 top-k retrieval (Robertson & Walker, SIGIR
+//! 1994 — the paper's reference [19] for text scoring).
+
+use std::collections::HashMap;
+
+use crate::Tokenizer;
+
+/// Identifier of a document in a [`TextIndex`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// BM25 parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`), conventionally 1.2.
+    pub k1: f64,
+    /// Length normalization (`b`), conventionally 0.75.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+struct Posting {
+    doc: DocId,
+    term_freq: u32,
+}
+
+/// An in-memory inverted index over a document collection, supporting
+/// Boolean containment tests and BM25-scored top-k retrieval.
+pub struct TextIndex {
+    tokenizer: Tokenizer,
+    params: Bm25Params,
+    postings: HashMap<String, Vec<Posting>>,
+    doc_lens: Vec<usize>,
+    avg_doc_len: f64,
+}
+
+impl TextIndex {
+    /// Builds the index over a corpus of document texts.
+    pub fn build<'a, I>(docs: I, tokenizer: Tokenizer, params: Bm25Params) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut doc_lens = Vec::new();
+        for (i, text) in docs.into_iter().enumerate() {
+            let doc = DocId(i as u32);
+            let terms = tokenizer.tokenize(text);
+            doc_lens.push(terms.len());
+            let mut tf: HashMap<String, u32> = HashMap::new();
+            for t in terms {
+                *tf.entry(t).or_default() += 1;
+            }
+            for (term, term_freq) in tf {
+                postings
+                    .entry(term)
+                    .or_default()
+                    .push(Posting { doc, term_freq });
+            }
+        }
+        let avg_doc_len = if doc_lens.is_empty() {
+            0.0
+        } else {
+            doc_lens.iter().sum::<usize>() as f64 / doc_lens.len() as f64
+        };
+        Self {
+            tokenizer,
+            params,
+            postings,
+            doc_lens,
+            avg_doc_len,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings.get(term).map_or(0, Vec::len)
+    }
+
+    /// Mean indexed document length (in terms).
+    pub fn avg_doc_len(&self) -> f64 {
+        self.avg_doc_len
+    }
+
+    /// The BM25 parameters the index scores with.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// BM25 score a *hypothetical* document would get for `query_terms`:
+    /// the document contains each of `doc_terms` exactly once (a keyword
+    /// set, e.g. a compressed classified ad). Uses this index's corpus
+    /// statistics.
+    pub fn score_keyword_doc(&self, query_terms: &[String], doc_terms: &[String]) -> f64 {
+        let Bm25Params { k1, b } = self.params;
+        let len = doc_terms.len() as f64;
+        let norm = k1 * (1.0 - b + b * len / self.avg_doc_len.max(1e-9));
+        query_terms
+            .iter()
+            .filter(|t| doc_terms.contains(t))
+            .map(|t| self.idf(t) * (k1 + 1.0) / (1.0 + norm))
+            .sum()
+    }
+
+    /// Robertson–Sparck-Jones IDF with the +1 floor used by Lucene (keeps
+    /// weights positive for very common terms).
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.num_docs() as f64;
+        let df = self.doc_freq(term) as f64;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// BM25 score of a document for a bag of query terms.
+    pub fn score(&self, query_terms: &[String], doc: DocId) -> f64 {
+        let mut total = 0.0;
+        for term in query_terms {
+            let Some(list) = self.postings.get(term) else {
+                continue;
+            };
+            let Some(p) = list.iter().find(|p| p.doc == doc) else {
+                continue;
+            };
+            total += self.term_score(term, p.term_freq, self.doc_lens[doc.0 as usize]);
+        }
+        total
+    }
+
+    fn term_score(&self, term: &str, tf: u32, doc_len: usize) -> f64 {
+        let Bm25Params { k1, b } = self.params;
+        let tf = tf as f64;
+        let norm = k1 * (1.0 - b + b * doc_len as f64 / self.avg_doc_len.max(1e-9));
+        self.idf(term) * tf * (k1 + 1.0) / (tf + norm)
+    }
+
+    /// Top-k retrieval: the `k` highest-BM25 documents containing at least
+    /// one query term, ties broken by document id for determinism.
+    pub fn top_k(&self, query: &str, k: usize) -> Vec<(DocId, f64)> {
+        let terms = self.tokenizer.tokenize(query);
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for term in &terms {
+            if let Some(list) = self.postings.get(term) {
+                for p in list {
+                    *scores.entry(p.doc).or_default() +=
+                        self.term_score(term, p.term_freq, self.doc_lens[p.doc.0 as usize]);
+                }
+            }
+        }
+        let mut ranked: Vec<(DocId, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Conjunctive Boolean retrieval: documents containing *all* query
+    /// terms.
+    pub fn boolean_retrieve(&self, query: &str) -> Vec<DocId> {
+        let terms = self.tokenizer.distinct_terms(query);
+        if terms.is_empty() {
+            return (0..self.num_docs() as u32).map(DocId).collect();
+        }
+        let mut result: Option<Vec<DocId>> = None;
+        for term in &terms {
+            let docs: Vec<DocId> = self
+                .postings
+                .get(term)
+                .map(|l| l.iter().map(|p| p.doc).collect())
+                .unwrap_or_default();
+            result = Some(match result {
+                None => docs,
+                Some(prev) => prev.into_iter().filter(|d| docs.contains(d)).collect(),
+            });
+        }
+        let mut out = result.unwrap_or_default();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> TextIndex {
+        TextIndex::build(
+            [
+                "sunny two bedroom apartment near train station",
+                "spacious apartment with pool and garden",
+                "cozy studio near station",
+                "luxury penthouse with pool view and garden terrace",
+            ],
+            Tokenizer::default(),
+            Bm25Params::default(),
+        )
+    }
+
+    #[test]
+    fn index_shape() {
+        let idx = corpus();
+        assert_eq!(idx.num_docs(), 4);
+        assert_eq!(idx.doc_freq("apartment"), 2);
+        assert_eq!(idx.doc_freq("pool"), 2);
+        assert_eq!(idx.doc_freq("zzz"), 0);
+    }
+
+    #[test]
+    fn idf_orders_by_rarity() {
+        let idx = corpus();
+        assert!(idx.idf("penthouse") > idx.idf("apartment"));
+        assert!(idx.idf("apartment") > 0.0);
+    }
+
+    #[test]
+    fn top_k_ranks_matching_docs() {
+        let idx = corpus();
+        let hits = idx.top_k("apartment pool", 2);
+        assert_eq!(hits.len(), 2);
+        // Doc 1 has both terms → highest score.
+        assert_eq!(hits[0].0, DocId(1));
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn boolean_retrieval_is_conjunctive() {
+        let idx = corpus();
+        assert_eq!(idx.boolean_retrieve("near station"), vec![DocId(0), DocId(2)]);
+        assert_eq!(idx.boolean_retrieve("pool garden"), vec![DocId(1), DocId(3)]);
+        assert_eq!(idx.boolean_retrieve("pool station"), Vec::<DocId>::new());
+    }
+
+    #[test]
+    fn scores_are_consistent() {
+        let idx = corpus();
+        let terms = vec!["pool".to_string(), "garden".to_string()];
+        let hits = idx.top_k("pool garden", 4);
+        for (doc, s) in hits {
+            assert!((idx.score(&terms, doc) - s).abs() < 1e-9);
+        }
+    }
+}

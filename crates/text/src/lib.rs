@@ -1,0 +1,31 @@
+//! # soc-text
+//!
+//! Text substrate for the `standout` workspace: tokenizer, inverted index
+//! with BM25 top-k retrieval (the paper's reference scoring function for
+//! text data), and the keyword-selection SOC variant (§II.B, §V) — choose
+//! the `m` keywords of a classified ad that make it visible to the most
+//! keyword queries, under Boolean ([`select_keywords`]) or BM25 top-k
+//! ([`select_keywords_topk`]) retrieval semantics.
+//!
+//! ```
+//! use soc_core::BruteForce;
+//! use soc_text::{select_keywords, Tokenizer};
+//!
+//! let ad = "sunny two bedroom apartment near station with pool";
+//! let log = ["apartment pool", "bedroom apartment", "garage"];
+//! let sel = select_keywords(&BruteForce, &log, ad, 3, &Tokenizer::default());
+//! assert_eq!(sel.satisfied, 2); // e.g. {apartment, pool, bedroom}
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod index;
+mod keyword;
+mod tokenizer;
+mod topk;
+
+pub use index::{Bm25Params, DocId, TextIndex};
+pub use keyword::{select_keywords, KeywordSelection};
+pub use tokenizer::Tokenizer;
+pub use topk::{select_keywords_topk, TopkKeywordSelection};

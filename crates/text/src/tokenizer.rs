@@ -1,0 +1,107 @@
+//! Minimal tokenizer for the text variant: lowercase, alphanumeric terms,
+//! optional stop-word removal.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// English stop words excluded from indexing by default (tiny list — the
+/// goal is realistic term statistics, not linguistic completeness).
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
+    "is", "it", "its", "of", "on", "or", "that", "the", "this", "to", "was", "were", "will",
+    "with",
+];
+
+fn stopword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Tokenizer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Tokenizer {
+    /// Drop the built-in stop words.
+    pub remove_stopwords: bool,
+    /// Drop terms shorter than this many characters.
+    pub min_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            remove_stopwords: true,
+            min_len: 2,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Splits text into lowercase alphanumeric terms.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(str::to_lowercase)
+            .filter(|t| t.chars().count() >= self.min_len)
+            .filter(|t| !self.remove_stopwords || !stopword_set().contains(t.as_str()))
+            .collect()
+    }
+
+    /// Tokenizes and deduplicates, preserving first-occurrence order
+    /// (documents as keyword *sets*, the Boolean view of §II.B).
+    pub fn distinct_terms(&self, text: &str) -> Vec<String> {
+        let mut seen = HashSet::new();
+        self.tokenize(text)
+            .into_iter()
+            .filter(|t| seen.insert(t.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("Sunny 2-bedroom Apartment!"),
+            vec!["sunny", "bedroom", "apartment"]
+        );
+    }
+
+    #[test]
+    fn stopwords_removed_by_default() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("near the train station"),
+            vec!["near", "train", "station"]
+        );
+        let keep = Tokenizer {
+            remove_stopwords: false,
+            ..Default::default()
+        };
+        assert_eq!(
+            keep.tokenize("near the train station"),
+            vec!["near", "the", "train", "station"]
+        );
+    }
+
+    #[test]
+    fn distinct_terms_dedupe() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.distinct_terms("pool pool POOL garden pool"),
+            vec!["pool", "garden"]
+        );
+    }
+
+    #[test]
+    fn min_len_filter() {
+        let t = Tokenizer {
+            min_len: 4,
+            remove_stopwords: false,
+        };
+        assert_eq!(t.tokenize("big blue car door"), vec!["blue", "door"]);
+    }
+}

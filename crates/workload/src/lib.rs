@@ -1,0 +1,39 @@
+//! # soc-workload
+//!
+//! Workload generators reproducing (or substituting for) the evaluation
+//! inputs of the ICDE 2008 paper (§VII):
+//!
+//! - [`cars`] — a synthetic used-car inventory (32 correlated Boolean
+//!   attributes, 15,211 cars by default) standing in for the paper's
+//!   Yahoo! Autos crawl, plus a "real-like" 185-query workload whose
+//!   queries all specify more than 3 attributes (the property behind
+//!   Fig 7's zero at m = 3);
+//! - [`synthetic`] — the paper's synthetic workload: query lengths 1–5
+//!   distributed 20/30/30/10/10;
+//! - [`numeric`] — a digital-camera catalog with range queries;
+//! - [`text`] — classified-ad texts and keyword queries over a Zipf
+//!   vocabulary.
+//!
+//! All generators are deterministic given their seed.
+//!
+//! ```
+//! use soc_workload::{generate_real_workload, RealWorkloadConfig};
+//!
+//! let log = generate_real_workload(&RealWorkloadConfig::default());
+//! assert_eq!(log.len(), 185);             // the paper's real workload size
+//! assert!(log.stats().min_query_len > 3); // hence Fig 7's zero at m = 3
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cars;
+pub mod numeric;
+pub mod synthetic;
+pub mod text;
+
+pub use cars::{
+    generate_cars, generate_real_workload, sample_new_cars, CarClass, CarsConfig, CarsDataset,
+    RealWorkloadConfig, CAR_ATTRIBUTES,
+};
+pub use synthetic::{generate_synthetic_workload, split_log, SyntheticConfig};

@@ -1,0 +1,113 @@
+//! Numeric workload generator: a digital-camera catalog with range
+//! queries (the §II.B motivating example — "users browsing a database for
+//! digital cameras may specify desired ranges on price, weight,
+//! resolution, etc.").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soc_data::numeric::{NumTuple, Range, RangeQuery};
+
+/// The numeric attributes of the camera catalog.
+pub const CAMERA_ATTRIBUTES: [&str; 5] = ["price", "megapixels", "zoom", "weight", "screen"];
+
+/// Plausible value range for each attribute: (low, high).
+const VALUE_RANGES: [(f64, f64); 5] = [
+    (100.0, 2000.0), // price $
+    (6.0, 40.0),     // megapixels
+    (1.0, 30.0),     // optical zoom ×
+    (100.0, 900.0),  // weight g
+    (2.0, 4.0),      // screen inches
+];
+
+/// Configuration of the camera workload generator.
+#[derive(Clone, Debug)]
+pub struct CameraConfig {
+    /// Number of range queries.
+    pub num_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CameraConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 300,
+            seed: 0xCA3A,
+        }
+    }
+}
+
+/// Samples a random camera.
+pub fn random_camera(seed: u64) -> NumTuple {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NumTuple {
+        values: VALUE_RANGES
+            .iter()
+            .map(|&(lo, hi)| rng.random_range(lo..hi))
+            .collect(),
+    }
+}
+
+/// Generates range queries: each constrains 1–3 attributes with an
+/// interval centered near a plausible value (buyers ask "price ≤ 500",
+/// "zoom ≥ 10" style windows).
+pub fn generate_camera_queries(config: &CameraConfig) -> Vec<RangeQuery> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let m = CAMERA_ATTRIBUTES.len();
+    (0..config.num_queries)
+        .map(|_| {
+            let constrained = rng.random_range(1..=3.min(m));
+            let mut conditions: Vec<Option<Range>> = vec![None; m];
+            let mut placed = 0;
+            while placed < constrained {
+                let a = rng.random_range(0..m);
+                if conditions[a].is_some() {
+                    continue;
+                }
+                let (lo, hi) = VALUE_RANGES[a];
+                let span = hi - lo;
+                let center = rng.random_range(lo..hi);
+                let width = rng.random_range(0.2..0.8) * span;
+                let q_lo = (center - width / 2.0).max(lo);
+                let q_hi = (center + width / 2.0).min(hi);
+                conditions[a] = Some(Range::new(q_lo, q_hi));
+                placed += 1;
+            }
+            RangeQuery { conditions }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_have_one_to_three_conditions() {
+        let qs = generate_camera_queries(&CameraConfig::default());
+        assert_eq!(qs.len(), 300);
+        for q in &qs {
+            let n = q.conditions.iter().flatten().count();
+            assert!((1..=3).contains(&n));
+            for r in q.conditions.iter().flatten() {
+                assert!(r.lo <= r.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn camera_values_in_range() {
+        let c = random_camera(4);
+        assert_eq!(c.values.len(), 5);
+        for (v, (lo, hi)) in c.values.iter().zip(VALUE_RANGES) {
+            assert!(*v >= lo && *v <= hi);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_camera_queries(&CameraConfig::default());
+        let b = generate_camera_queries(&CameraConfig::default());
+        assert_eq!(a, b);
+    }
+}

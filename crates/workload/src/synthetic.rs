@@ -1,0 +1,266 @@
+//! The paper's synthetic query workload (§VII): each query specifies 1–5
+//! attributes, with the count distributed 20% / 30% / 30% / 10% / 10%
+//! ("most of the users specify two or three attributes"). Attribute
+//! choice is uniform by default, with an optional Zipf-like popularity
+//! skew for ablations.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use soc_data::{AttrSet, Query, QueryLog, Schema};
+
+/// Configuration for the synthetic workload generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of queries `S`.
+    pub num_queries: usize,
+    /// Number of attributes `M`.
+    pub num_attrs: usize,
+    /// Probability of each query length; index 0 ↦ 1 attribute. The
+    /// default is the paper's `[0.2, 0.3, 0.3, 0.1, 0.1]`.
+    pub len_distribution: Vec<f64>,
+    /// Zipf exponent for attribute popularity; `0.0` = uniform (the
+    /// paper's setting), larger values concentrate queries on few
+    /// attributes.
+    pub popularity_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 2000,
+            num_attrs: 32,
+            len_distribution: vec![0.2, 0.3, 0.3, 0.1, 0.1],
+            popularity_skew: 0.0,
+            seed: 0x20C8,
+        }
+    }
+}
+
+/// Generates the synthetic workload.
+///
+/// # Panics
+/// Panics if the length distribution is empty, has non-positive mass, or
+/// allows lengths longer than `num_attrs`.
+pub fn generate_synthetic_workload(config: &SyntheticConfig) -> QueryLog {
+    assert!(!config.len_distribution.is_empty(), "empty length distribution");
+    let mass: f64 = config.len_distribution.iter().sum();
+    assert!(mass > 0.0, "length distribution has no mass");
+    assert!(
+        config.len_distribution.len() <= config.num_attrs,
+        "queries cannot specify more attributes than exist"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Arc::new(Schema::anonymous(config.num_attrs));
+
+    // Attribute popularity weights (Zipf over a seeded permutation so the
+    // popular attributes are not always the low indices).
+    let mut order: Vec<usize> = (0..config.num_attrs).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let weights: Vec<f64> = (0..config.num_attrs)
+        .map(|j| {
+            let rank = order[j] + 1;
+            1.0 / (rank as f64).powf(config.popularity_skew)
+        })
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut queries = Vec::with_capacity(config.num_queries);
+    for _ in 0..config.num_queries {
+        let len = sample_len(&config.len_distribution, mass, &mut rng);
+        let mut attrs = AttrSet::empty(config.num_attrs);
+        while attrs.count() < len {
+            let a = sample_weighted(&weights, total_weight, &mut rng);
+            attrs.insert(a);
+        }
+        queries.push(Query::new(attrs));
+    }
+    QueryLog::new(schema, queries)
+}
+
+fn sample_len<R: Rng>(dist: &[f64], mass: f64, rng: &mut R) -> usize {
+    let x: f64 = rng.random::<f64>() * mass;
+    let mut acc = 0.0;
+    for (i, &p) in dist.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i + 1;
+        }
+    }
+    dist.len()
+}
+
+fn sample_weighted<R: Rng>(weights: &[f64], total: f64, rng: &mut R) -> usize {
+    let x: f64 = rng.random::<f64>() * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_follow_distribution() {
+        let log = generate_synthetic_workload(&SyntheticConfig {
+            num_queries: 10_000,
+            ..Default::default()
+        });
+        let mut hist = [0usize; 6];
+        for q in log.queries() {
+            hist[q.len()] += 1;
+        }
+        assert_eq!(hist[0], 0);
+        // 20/30/30/10/10 within generous tolerance.
+        let frac = |n: usize| n as f64 / 10_000.0;
+        assert!((frac(hist[1]) - 0.2).abs() < 0.03, "{hist:?}");
+        assert!((frac(hist[2]) - 0.3).abs() < 0.03);
+        assert!((frac(hist[3]) - 0.3).abs() < 0.03);
+        assert!((frac(hist[4]) - 0.1).abs() < 0.03);
+        assert!((frac(hist[5]) - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig {
+            num_queries: 100,
+            ..Default::default()
+        };
+        let a = generate_synthetic_workload(&cfg);
+        let b = generate_synthetic_workload(&cfg);
+        for (x, y) in a.queries().iter().zip(b.queries()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_popularity() {
+        let uniform = generate_synthetic_workload(&SyntheticConfig {
+            num_queries: 5_000,
+            popularity_skew: 0.0,
+            seed: 11,
+            ..Default::default()
+        });
+        let skewed = generate_synthetic_workload(&SyntheticConfig {
+            num_queries: 5_000,
+            popularity_skew: 1.2,
+            seed: 11,
+            ..Default::default()
+        });
+        let top_share = |log: &soc_data::QueryLog| {
+            let mut f = log.attribute_frequencies();
+            f.sort_unstable_by(|a, b| b.cmp(a));
+            let total: usize = f.iter().sum();
+            f[..4].iter().sum::<usize>() as f64 / total as f64
+        };
+        assert!(top_share(&skewed) > top_share(&uniform) + 0.1);
+    }
+
+    #[test]
+    fn custom_distribution() {
+        let log = generate_synthetic_workload(&SyntheticConfig {
+            num_queries: 200,
+            len_distribution: vec![0.0, 0.0, 1.0], // always 3 attributes
+            ..Default::default()
+        });
+        assert!(log.queries().iter().all(|q| q.len() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no mass")]
+    fn zero_mass_panics() {
+        let _ = generate_synthetic_workload(&SyntheticConfig {
+            len_distribution: vec![0.0],
+            ..Default::default()
+        });
+    }
+}
+
+/// Randomly splits a query log into two disjoint parts (weights travel
+/// with their queries): a `fraction`-sized "history" and the remainder
+/// as "future". Used by the log-drift experiment — the paper (§VIII)
+/// notes a query log is only an approximate surrogate of future buyer
+/// preferences, and this lets us measure how much that costs.
+///
+/// # Panics
+/// Panics unless `0.0 < fraction < 1.0`.
+pub fn split_log(
+    log: &soc_data::QueryLog,
+    fraction: f64,
+    seed: u64,
+) -> (soc_data::QueryLog, soc_data::QueryLog) {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be strictly between 0 and 1"
+    );
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..log.len()).collect();
+    ids.shuffle(&mut rng);
+    let cut = ((log.len() as f64 * fraction).round() as usize).clamp(1, log.len() - 1);
+    let history: std::collections::HashSet<usize> = ids[..cut].iter().copied().collect();
+    let mut index = 0;
+    let train = log.filter(|_| {
+        let keep = history.contains(&index);
+        index += 1;
+        keep
+    });
+    let mut index = 0;
+    let test = log.filter(|_| {
+        let keep = !history.contains(&index);
+        index += 1;
+        keep
+    });
+    (train, test)
+}
+
+#[cfg(test)]
+mod split_tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let log = generate_synthetic_workload(&SyntheticConfig {
+            num_queries: 100,
+            ..Default::default()
+        });
+        let (a, b) = split_log(&log, 0.7, 1);
+        assert_eq!(a.len() + b.len(), log.len());
+        assert_eq!(a.len(), 70);
+        assert_eq!(a.total_weight() + b.total_weight(), log.total_weight());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let log = generate_synthetic_workload(&SyntheticConfig {
+            num_queries: 50,
+            ..Default::default()
+        });
+        let (a1, _) = split_log(&log, 0.5, 9);
+        let (a2, _) = split_log(&log, 0.5, 9);
+        for (x, y) in a1.queries().iter().zip(a2.queries()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn bad_fraction_panics() {
+        let log = generate_synthetic_workload(&SyntheticConfig {
+            num_queries: 10,
+            ..Default::default()
+        });
+        let _ = split_log(&log, 1.0, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Text workload generator: classified-ad texts and keyword queries over
+//! a Zipf-distributed vocabulary (for the §II.B / §V text variant).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Vocabulary of classified-ad terms, ordered roughly by popularity.
+pub const AD_VOCABULARY: [&str; 48] = [
+    "apartment", "bedroom", "bathroom", "parking", "kitchen", "spacious", "renovated",
+    "downtown", "balcony", "pool", "garden", "garage", "furnished", "laundry", "dishwasher",
+    "pets", "gym", "elevator", "heating", "cooling", "hardwood", "carpet", "station", "bus",
+    "school", "quiet", "sunny", "view", "storage", "utilities", "electricity", "water",
+    "internet", "cable", "security", "doorman", "terrace", "fireplace", "studio", "loft",
+    "penthouse", "basement", "yard", "patio", "deck", "sauna", "jacuzzi", "concierge",
+];
+
+/// Configuration of the classified-ads generator.
+#[derive(Clone, Debug)]
+pub struct AdsConfig {
+    /// Number of ad documents in the corpus.
+    pub num_ads: usize,
+    /// Number of keyword queries.
+    pub num_queries: usize,
+    /// Terms per ad (min, max).
+    pub ad_terms: (usize, usize),
+    /// Terms per query (min, max).
+    pub query_terms: (usize, usize),
+    /// Zipf exponent over the vocabulary.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AdsConfig {
+    fn default() -> Self {
+        Self {
+            num_ads: 400,
+            num_queries: 300,
+            ad_terms: (8, 18),
+            query_terms: (1, 3),
+            skew: 0.8,
+            seed: 0xAD5,
+        }
+    }
+}
+
+/// Generated text workload.
+pub struct AdsDataset {
+    /// Ad texts (space-joined term bags).
+    pub ads: Vec<String>,
+    /// Keyword queries (space-joined).
+    pub queries: Vec<String>,
+}
+
+fn zipf_weights(n: usize, skew: f64) -> (Vec<f64>, f64) {
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).collect();
+    let total = weights.iter().sum();
+    (weights, total)
+}
+
+fn sample_terms<R: Rng>(rng: &mut R, weights: &[f64], total: f64, count: usize) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::with_capacity(count);
+    let mut guard = 0;
+    while out.len() < count && guard < 10_000 {
+        guard += 1;
+        let x: f64 = rng.random::<f64>() * total;
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w;
+            if x < acc {
+                if !out.contains(&AD_VOCABULARY[i]) {
+                    out.push(AD_VOCABULARY[i]);
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Generates the ads corpus and the keyword query log.
+pub fn generate_ads(config: &AdsConfig) -> AdsDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (weights, total) = zipf_weights(AD_VOCABULARY.len(), config.skew);
+    let ads = (0..config.num_ads)
+        .map(|_| {
+            let n = rng.random_range(config.ad_terms.0..=config.ad_terms.1);
+            sample_terms(&mut rng, &weights, total, n).join(" ")
+        })
+        .collect();
+    let queries = (0..config.num_queries)
+        .map(|_| {
+            let n = rng.random_range(config.query_terms.0..=config.query_terms.1);
+            sample_terms(&mut rng, &weights, total, n).join(" ")
+        })
+        .collect();
+    AdsDataset { ads, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let d = generate_ads(&AdsConfig::default());
+        assert_eq!(d.ads.len(), 400);
+        assert_eq!(d.queries.len(), 300);
+        for ad in &d.ads {
+            let n = ad.split_whitespace().count();
+            assert!((8..=18).contains(&n), "{n}");
+        }
+        for q in &d.queries {
+            let n = q.split_whitespace().count();
+            assert!((1..=3).contains(&n));
+        }
+    }
+
+    #[test]
+    fn popular_terms_dominate() {
+        let d = generate_ads(&AdsConfig::default());
+        let count = |term: &str| {
+            d.queries
+                .iter()
+                .filter(|q| q.split_whitespace().any(|t| t == term))
+                .count()
+        };
+        // First vocabulary entry is the most popular by construction.
+        assert!(count("apartment") > count("concierge"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_ads(&AdsConfig::default());
+        let b = generate_ads(&AdsConfig::default());
+        assert_eq!(a.ads, b.ads);
+        assert_eq!(a.queries, b.queries);
+    }
+}

@@ -1,0 +1,48 @@
+//! Camera shop: the numeric variant (§II.B, §V).
+//!
+//! A shop lists a new camera in a catalog searched with range queries
+//! ("price ≤ $500", "zoom ≥ 10×"). Spec sheets have limited space: which
+//! `m` specifications should the listing publish so the camera shows up
+//! in the most searches? Hidden specs exclude the listing from searches
+//! constraining them.
+//!
+//! Run with: `cargo run --example camera_shop`
+
+use standout::core::variants::numeric::solve_numeric;
+use standout::core::{BruteForce, ConsumeAttrCumul};
+use standout::workload::numeric::{
+    generate_camera_queries, random_camera, CameraConfig, CAMERA_ATTRIBUTES,
+};
+
+fn main() {
+    let queries = generate_camera_queries(&CameraConfig::default());
+    let camera = random_camera(2026);
+
+    println!("new camera:");
+    for (name, v) in CAMERA_ATTRIBUTES.iter().zip(&camera.values) {
+        println!("  {name:<12} {v:.1}");
+    }
+    println!("\nworkload: {} range queries", queries.len());
+
+    for m in 1..=CAMERA_ATTRIBUTES.len() {
+        let exact = solve_numeric(&BruteForce, &queries, &camera, m);
+        let greedy = solve_numeric(&ConsumeAttrCumul, &queries, &camera, m);
+        let published: Vec<&str> = exact
+            .publish
+            .iter()
+            .map(|i| CAMERA_ATTRIBUTES[i])
+            .collect();
+        println!(
+            "m = {m}: exact {:>3}, greedy {:>3} queries — publish {}",
+            exact.satisfied,
+            greedy.satisfied,
+            published.join(", ")
+        );
+    }
+
+    println!(
+        "\n(Each range query only retrieves the listing if every\n\
+         constrained spec is published and in range — hiding the price\n\
+         hides the camera from price-filtered searches.)"
+    );
+}

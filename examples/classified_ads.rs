@@ -1,0 +1,69 @@
+//! Classified ads: the text variant (§II.B, §V).
+//!
+//! A landlord posts an apartment ad but may only list a handful of
+//! keywords. We pick the keywords that satisfy the most keyword queries
+//! from the site's query log, then double-check visibility with BM25
+//! top-k retrieval against the live corpus.
+//!
+//! Run with: `cargo run --example classified_ads`
+
+use standout::core::{BruteForce, ConsumeAttr};
+use standout::text::{select_keywords, Bm25Params, TextIndex, Tokenizer};
+use standout::workload::text::{generate_ads, AdsConfig};
+
+fn main() {
+    let dataset = generate_ads(&AdsConfig::default());
+    let tokenizer = Tokenizer::default();
+
+    let ad = "Sunny renovated two bedroom apartment downtown, parking garage, \
+              balcony with view, pool and gym in building, pets welcome, \
+              utilities and internet included, near station";
+    let m = 6;
+    let queries: Vec<&str> = dataset.queries.iter().map(String::as_str).collect();
+
+    println!("ad text: {ad}\n");
+    println!(
+        "query log: {} keyword queries; keyword budget: {m}\n",
+        queries.len()
+    );
+
+    // Exact selection is feasible here because the universe is only the
+    // ad's own vocabulary; on web-scale corpora use the greedy.
+    let exact = select_keywords(&BruteForce, &queries, ad, m, &tokenizer);
+    let greedy = select_keywords(&ConsumeAttr, &queries, ad, m, &tokenizer);
+
+    println!(
+        "exact  ({:>3}/{} queries): {}",
+        exact.satisfied,
+        exact.satisfiable_queries,
+        exact.keywords.join(", ")
+    );
+    println!(
+        "greedy ({:>3}/{} queries): {}",
+        greedy.satisfied,
+        greedy.satisfiable_queries,
+        greedy.keywords.join(", ")
+    );
+
+    // Sanity-check visibility with BM25 top-k against the whole corpus:
+    // index the existing ads plus our compressed ad, and count queries
+    // for which the compressed ad ranks in the top 10.
+    let compressed = exact.keywords.join(" ");
+    let mut corpus: Vec<&str> = dataset.ads.iter().map(String::as_str).collect();
+    corpus.push(&compressed);
+    let index = TextIndex::build(
+        corpus.iter().copied(),
+        Tokenizer::default(),
+        Bm25Params::default(),
+    );
+    let our_doc = standout::text::DocId((corpus.len() - 1) as u32);
+    let k = 10;
+    let visible = queries
+        .iter()
+        .filter(|q| index.top_k(q, k).iter().any(|(d, _)| *d == our_doc))
+        .count();
+    println!(
+        "\nBM25 check: the compressed ad appears in the top-{k} for {visible}/{} queries",
+        queries.len()
+    );
+}

@@ -1,0 +1,95 @@
+//! Quickstart: the paper's running example (Fig 1).
+//!
+//! An auto dealer has 7 cars on the lot and a log of 5 buyer queries. A
+//! new car arrives with 5 features, but the ad can only list 3. Which
+//! features should the ad highlight?
+//!
+//! Run with: `cargo run --example quickstart`
+
+use standout::core::variants::data_variant::solve_soc_cb_d;
+use standout::core::{
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch,
+    MfiSolver, SocAlgorithm, SocInstance,
+};
+use standout::data::{AttrId, Database, QueryLog, Schema, Tuple};
+use std::sync::Arc;
+
+fn main() {
+    let schema = Arc::new(Schema::new([
+        "AC",
+        "FourDoor",
+        "Turbo",
+        "PowerDoors",
+        "AutoTrans",
+        "PowerBrakes",
+    ]));
+
+    // The query log Q of Fig 1.
+    let log = QueryLog::new(
+        Arc::clone(&schema),
+        ["110000", "100100", "010100", "000101", "001010"]
+            .iter()
+            .map(|b| standout::data::Query::from_bitstring(b).unwrap())
+            .collect(),
+    );
+
+    // The new car t: AC, FourDoor, PowerDoors, AutoTrans, PowerBrakes.
+    let t = Tuple::from_bitstring("110111").unwrap();
+    let m = 3;
+
+    println!("New car features: {}", t.describe(&schema));
+    println!("Ad budget: {m} attributes\n");
+
+    let instance = SocInstance::new(&log, &t, m);
+    let algorithms: Vec<Box<dyn SocAlgorithm>> = vec![
+        Box::new(BruteForce),
+        Box::new(IlpSolver::default()),
+        Box::new(MfiSolver::default()),
+        Box::new(MfiSolver::deterministic()),
+        Box::new(ConsumeAttr),
+        Box::new(ConsumeAttrCumul),
+        Box::new(ConsumeQueries),
+        Box::new(LocalSearch::default()),
+    ];
+
+    println!("{:<18} {:>9}  retained attributes", "algorithm", "satisfied");
+    for algo in &algorithms {
+        let sol = algo.solve(&instance);
+        let names: Vec<&str> = sol
+            .retained
+            .iter()
+            .map(|i| schema.name(AttrId(i as u32)))
+            .collect();
+        println!(
+            "{:<18} {:>6}/{}   {}",
+            algo.name(),
+            sol.satisfied,
+            log.len(),
+            names.join(", ")
+        );
+    }
+
+    // The SOC-CB-D variant: maximize dominated competitors instead.
+    let db = Database::new(
+        Arc::clone(&schema),
+        [
+            "010100", "011000", "100111", "110101", "110000", "010100", "001100",
+        ]
+        .iter()
+        .map(|b| Tuple::from_bitstring(b).unwrap())
+        .collect(),
+    );
+    let dom = solve_soc_cb_d(&BruteForce, &db, &t, 4);
+    let names: Vec<&str> = dom
+        .solution
+        .retained
+        .iter()
+        .map(|i| schema.name(AttrId(i as u32)))
+        .collect();
+    println!(
+        "\nSOC-CB-D (m = 4): dominate {}/{} competitors by retaining {}",
+        dom.dominated,
+        db.len(),
+        names.join(", ")
+    );
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: tests, figures, benches.
+# Usage: scripts/reproduce.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-}"
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== figures (paper evaluation §VII + ablations) =="
+if [ "$SCALE" = "--quick" ]; then
+    cargo run --release -p soc-bench --bin figures -- --quick all | tee figures_output.tsv
+else
+    cargo run --release -p soc-bench --bin figures -- all | tee figures_output.tsv
+fi
+
+echo "== criterion benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "done; see test_output.txt, figures_output.tsv, bench_output.txt, EXPERIMENTS.md"

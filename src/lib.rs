@@ -1,0 +1,10 @@
+//! # standout
+//!
+//! Facade crate re-exporting the public API of the workspace.
+
+pub use soc_core as core;
+pub use soc_data as data;
+pub use soc_itemsets as itemsets;
+pub use soc_solver as solver;
+pub use soc_text as text;
+pub use soc_workload as workload;

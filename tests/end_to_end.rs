@@ -1,0 +1,184 @@
+//! End-to-end pipelines across crates: generator → algorithms →
+//! evaluation, exercising the facade crate exactly as a downstream user
+//! would.
+
+use standout::core::{
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, MfiPreprocessed,
+    MfiSolver, SocAlgorithm, SocInstance,
+};
+use standout::workload::{
+    generate_cars, generate_real_workload, generate_synthetic_workload, sample_new_cars,
+    CarsConfig, RealWorkloadConfig, SyntheticConfig,
+};
+
+#[test]
+fn car_pipeline_exact_algorithms_agree() {
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 300,
+        seed: 1,
+    });
+    let log = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 40,
+        ..Default::default()
+    });
+    let cars = sample_new_cars(&dataset, 2, 2);
+    let ilp = IlpSolver::default();
+    let mfi = MfiSolver::default();
+    for car in &cars {
+        for m in [4, 6] {
+            let inst = SocInstance::new(&log, car, m);
+            let a = ilp.solve(&inst);
+            let b = mfi.solve(&inst);
+            assert_eq!(a.satisfied, b.satisfied, "m = {m}");
+        }
+    }
+}
+
+#[test]
+fn synthetic_pipeline_greedy_quality_ordering() {
+    // Averaged over cars, the frequency greedies should be close to
+    // optimal on the paper's synthetic workload; ConsumeQueries lags.
+    let log = generate_synthetic_workload(&SyntheticConfig {
+        num_queries: 400,
+        num_attrs: 16,
+        seed: 3,
+        ..Default::default()
+    });
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 100,
+        seed: 4,
+    });
+    let m = 5;
+    let mut sums = [0usize; 4]; // optimal, attr, cumul, queries
+    for car in sample_new_cars(&dataset, 20, 5) {
+        // Project the 32-attribute car onto the 16-attribute universe.
+        let projected = standout::data::Tuple::new(standout::data::AttrSet::from_indices(
+            16,
+            car.attrs().iter().filter(|&a| a < 16),
+        ));
+        let inst = SocInstance::new(&log, &projected, m);
+        sums[0] += BruteForce.solve(&inst).satisfied;
+        sums[1] += ConsumeAttr.solve(&inst).satisfied;
+        sums[2] += ConsumeAttrCumul.solve(&inst).satisfied;
+        sums[3] += ConsumeQueries.solve(&inst).satisfied;
+    }
+    assert!(sums[1] <= sums[0] && sums[2] <= sums[0] && sums[3] <= sums[0]);
+    // The frequency greedies reach a healthy fraction of the optimum.
+    assert!(
+        sums[1] * 10 >= sums[0] * 7,
+        "ConsumeAttr too weak: {} vs optimal {}",
+        sums[1],
+        sums[0]
+    );
+    assert!(
+        sums[2] * 10 >= sums[0] * 7,
+        "ConsumeAttrCumul too weak: {} vs optimal {}",
+        sums[2],
+        sums[0]
+    );
+}
+
+#[test]
+fn mfi_preprocessing_reuse_is_consistent() {
+    let log = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 80,
+        ..Default::default()
+    });
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 100,
+        seed: 6,
+    });
+    let solver = MfiSolver::default();
+    let mut pre = MfiPreprocessed::default();
+    for car in sample_new_cars(&dataset, 8, 7) {
+        let inst = SocInstance::new(&log, &car, 5);
+        let warm = solver.solve_preprocessed(&mut pre, &inst);
+        let cold = solver.solve(&inst);
+        assert_eq!(warm.satisfied, cold.satisfied);
+    }
+}
+
+#[test]
+fn real_workload_reproduces_fig7_zero_at_m3() {
+    // "no query is satisfied for m = 3 because all queries specify more
+    // than 3 attributes" (§VII).
+    let log = generate_real_workload(&RealWorkloadConfig::default());
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 200,
+        seed: 8,
+    });
+    for car in sample_new_cars(&dataset, 10, 9) {
+        let inst = SocInstance::new(&log, &car, 3);
+        assert_eq!(BruteForce.solve(&inst).satisfied, 0);
+    }
+}
+
+#[test]
+fn facade_reexports_cover_the_stack() {
+    // The facade must expose every layer a downstream user needs.
+    let _ = standout::solver::Model::new(standout::solver::Sense::Maximize);
+    let _ = standout::itemsets::ThresholdStrategy::Exact;
+    let _ = standout::text::Tokenizer::default();
+    let _ = standout::data::AttrSet::empty(4);
+    let _ = standout::core::BruteForce;
+    let _ = standout::workload::CarsConfig::default();
+}
+
+#[test]
+fn local_search_closes_part_of_the_greedy_gap_end_to_end() {
+    let log = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 80,
+        ..Default::default()
+    });
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 150,
+        seed: 23,
+    });
+    let local = standout::core::LocalSearch::default();
+    let mut greedy_total = 0usize;
+    let mut local_total = 0usize;
+    let mut exact_total = 0usize;
+    let mfi = MfiSolver::default();
+    let mut pre = MfiPreprocessed::default();
+    for car in sample_new_cars(&dataset, 12, 24) {
+        let inst = SocInstance::new(&log, &car, 6);
+        greedy_total += ConsumeAttr.solve(&inst).satisfied;
+        local_total += local.solve(&inst).satisfied;
+        exact_total += mfi.solve_preprocessed(&mut pre, &inst).satisfied;
+    }
+    assert!(local_total >= greedy_total);
+    assert!(local_total <= exact_total);
+}
+
+#[test]
+fn dedup_pipeline_preserves_objectives_at_scale() {
+    let distinct = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 60,
+        ..Default::default()
+    });
+    // Duplicate-heavy raw log.
+    let mut queries = Vec::new();
+    for (i, q) in distinct.queries().iter().enumerate() {
+        for _ in 0..(1 + i % 4) {
+            queries.push(q.clone());
+        }
+    }
+    let raw = standout::data::QueryLog::new(distinct.schema().clone(), queries);
+    let dedup = raw.deduplicate();
+    assert!(dedup.len() < raw.len());
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 100,
+        seed: 25,
+    });
+    for car in sample_new_cars(&dataset, 5, 26) {
+        for m in [4, 6] {
+            let a = MfiSolver::default()
+                .solve(&SocInstance::new(&raw, &car, m))
+                .satisfied;
+            let b = MfiSolver::default()
+                .solve(&SocInstance::new(&dedup, &car, m))
+                .satisfied;
+            assert_eq!(a, b, "m = {m}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Pins the paper's worked example (Fig 1, §II): every algorithm must
+//! reproduce the exact numbers stated in the text.
+
+use standout::core::variants::data_variant::solve_soc_cb_d;
+use standout::core::{
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, MfiSolver,
+    SocAlgorithm, SocInstance,
+};
+use standout::data::{Database, QueryId, QueryLog, Tuple};
+
+fn fig1_log() -> QueryLog {
+    QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap()
+}
+
+fn fig1_db() -> Database {
+    Database::from_bitstrings(&[
+        "010100", "011000", "100111", "110101", "110000", "010100", "001100",
+    ])
+    .unwrap()
+}
+
+fn new_car() -> Tuple {
+    Tuple::from_bitstring("110111").unwrap()
+}
+
+/// §II.A: "if we retain the attributes AC, Four Door, and Power Doors
+/// (i.e., t' = [1,1,0,1,0,0]), we can satisfy a maximum of three queries
+/// (q1, q2, and q3). No other selection of three attributes of the new
+/// tuple will satisfy more queries."
+#[test]
+fn soc_cb_ql_m3_satisfies_exactly_three_queries() {
+    let log = fig1_log();
+    let t = new_car();
+    let inst = SocInstance::new(&log, &t, 3);
+
+    for algo in [
+        &BruteForce as &dyn SocAlgorithm,
+        &IlpSolver::default(),
+        &MfiSolver::default(),
+    ] {
+        let sol = algo.solve(&inst);
+        assert_eq!(sol.satisfied, 3, "{}", algo.name());
+        assert_eq!(
+            sol.retained.to_bitstring(),
+            "110100",
+            "{} must retain AC, FourDoor, PowerDoors",
+            algo.name()
+        );
+        assert_eq!(
+            log.satisfied_ids(&sol.tuple()),
+            vec![QueryId(0), QueryId(1), QueryId(2)]
+        );
+    }
+}
+
+/// The greedy heuristics happen to be optimal on the running example.
+#[test]
+fn greedies_reach_the_optimum_on_fig1() {
+    let log = fig1_log();
+    let t = new_car();
+    let inst = SocInstance::new(&log, &t, 3);
+    for algo in [
+        &ConsumeAttr as &dyn SocAlgorithm,
+        &ConsumeAttrCumul,
+        &ConsumeQueries,
+    ] {
+        assert_eq!(algo.solve(&inst).satisfied, 3, "{}", algo.name());
+    }
+}
+
+/// §II.B: "if we retain the four attributes AC, Four Door, Power Doors
+/// and Power Brakes (i.e., t' = [1,1,0,1,0,1]), we dominate four tuples
+/// (t1, t4, t5 and t6). No other selection of four attributes of the new
+/// tuple will dominate more tuples."
+#[test]
+fn soc_cb_d_m4_dominates_exactly_four_tuples() {
+    let db = fig1_db();
+    let t = new_car();
+    let r = solve_soc_cb_d(&BruteForce, &db, &t, 4);
+    assert_eq!(r.dominated, 4);
+    assert_eq!(r.solution.retained.to_bitstring(), "110101");
+    let dom_ids: Vec<u32> = db
+        .dominated_ids(&r.solution.tuple())
+        .into_iter()
+        .map(|id| id.0)
+        .collect();
+    assert_eq!(dom_ids, vec![0, 3, 4, 5]); // t1, t4, t5, t6 (0-indexed)
+}
+
+/// The NP-hardness construction of Theorem 1: a clique of size r in G
+/// exists iff the SOC instance (one query per edge, m = r) satisfies
+/// r(r−1)/2 queries. Check both directions on small graphs.
+#[test]
+fn clique_reduction_sanity() {
+    // Triangle plus a pendant vertex: V = {0,1,2,3},
+    // E = {01, 02, 12, 23}. Max clique = 3 (the triangle).
+    let edges = [(0, 1), (0, 2), (1, 2), (2, 3)];
+    let log = QueryLog::from_attr_sets(
+        4,
+        edges
+            .iter()
+            .map(|&(u, v)| standout::data::AttrSet::from_indices(4, [u, v]))
+            .collect(),
+    );
+    let t = Tuple::new(standout::data::AttrSet::full(4));
+
+    // m = 3: the triangle satisfies 3 = 3·2/2 queries.
+    let sol = BruteForce.solve(&SocInstance::new(&log, &t, 3));
+    assert_eq!(sol.satisfied, 3);
+    assert_eq!(sol.retained.to_indices(), vec![0, 1, 2]);
+
+    // m = 4 is the whole graph: only 4 edges, not C(4,2) = 6 → no 4-clique.
+    let sol = BruteForce.solve(&SocInstance::new(&log, &t, 4));
+    assert!(sol.satisfied < 6);
+}

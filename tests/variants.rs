@@ -1,0 +1,188 @@
+//! Cross-crate integration tests for the problem variants of §II.B / §V,
+//! driven through the facade crate.
+
+use standout::core::variants::{
+    categorical::solve_categorical,
+    data_variant::solve_soc_cb_d,
+    disjunctive,
+    numeric::solve_numeric,
+    per_attribute::solve_per_attribute,
+    topk::{retrieves_in_topk, solve_topk_feature_count, TieBreak},
+};
+use standout::core::{BruteForce, ConsumeAttrCumul, IlpSolver, SocAlgorithm, SocInstance};
+use standout::data::categorical::{CatQuery, CatSchema, CatTuple};
+use standout::data::{AttrSet, Tuple};
+use standout::workload::numeric::{generate_camera_queries, random_camera, CameraConfig};
+use standout::workload::{
+    generate_cars, generate_real_workload, sample_new_cars, CarsConfig, RealWorkloadConfig,
+};
+
+#[test]
+fn per_attribute_with_exact_and_greedy_inner() {
+    let log = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 50,
+        ..Default::default()
+    });
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 50,
+        seed: 11,
+    });
+    let car = &sample_new_cars(&dataset, 1, 12)[0];
+    let exact = solve_per_attribute(&BruteForce, &log, car);
+    let greedy = solve_per_attribute(&ConsumeAttrCumul, &log, car);
+    assert!(greedy.ratio <= exact.ratio + 1e-9);
+    assert!(exact.ratio >= 0.0);
+}
+
+#[test]
+fn topk_visibility_shrinks_with_competition() {
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 400,
+        seed: 13,
+    });
+    let log = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 60,
+        ..Default::default()
+    });
+    let car = &sample_new_cars(&dataset, 1, 14)[0];
+    let m = 6;
+    let plain = SocInstance::new(&log, car, m);
+    let unconstrained = BruteForce.solve(&plain).satisfied;
+    let mut last = usize::MAX;
+    for k in [100, 10, 1] {
+        let r = solve_topk_feature_count(
+            &BruteForce,
+            &dataset.db,
+            &log,
+            k,
+            TieBreak::NewTupleWins,
+            car,
+            m,
+        );
+        assert!(r.visible_in <= unconstrained);
+        assert!(r.visible_in <= last, "k = {k}");
+        last = r.visible_in;
+    }
+}
+
+#[test]
+fn topk_solution_verified_against_reference_evaluator() {
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 150,
+        seed: 15,
+    });
+    let log = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 40,
+        ..Default::default()
+    });
+    let car = &sample_new_cars(&dataset, 1, 16)[0];
+    let (k, m) = (20, 5);
+    let ties = TieBreak::IncumbentWins;
+    let r = solve_topk_feature_count(&BruteForce, &dataset.db, &log, k, ties, car, m);
+    let scores: Vec<f64> = dataset
+        .db
+        .tuples()
+        .iter()
+        .map(|t| t.count() as f64)
+        .collect();
+    let cand = m.min(car.count()) as f64;
+    let direct = log
+        .queries()
+        .iter()
+        .filter(|q| {
+            retrieves_in_topk(&dataset.db, &scores, q, &r.solution.tuple(), cand, k, ties)
+        })
+        .count();
+    assert_eq!(direct, r.visible_in);
+}
+
+#[test]
+fn categorical_car_options() {
+    let schema = CatSchema::new([
+        ("make", vec!["honda", "toyota", "ford"]),
+        ("color", vec!["red", "blue", "black", "white"]),
+        ("trans", vec!["auto", "manual"]),
+        ("fuel", vec!["gas", "hybrid", "diesel"]),
+        ("body", vec!["sedan", "suv", "coupe"]),
+    ]);
+    let car = CatTuple {
+        values: vec![1, 3, 0, 1, 0], // toyota, white, auto, hybrid, sedan
+    };
+    let queries = vec![
+        CatQuery { conditions: vec![Some(1), None, None, None, None] },
+        CatQuery { conditions: vec![Some(1), None, Some(0), None, None] },
+        CatQuery { conditions: vec![None, None, None, Some(1), Some(0)] },
+        CatQuery { conditions: vec![Some(0), None, None, None, None] }, // honda ✗
+        CatQuery { conditions: vec![None, Some(3), None, Some(1), None] },
+    ];
+    let exact = solve_categorical(&BruteForce, &schema, &queries, &car, 2);
+    let ilp = solve_categorical(&IlpSolver::default(), &schema, &queries, &car, 2);
+    assert_eq!(exact.satisfied, ilp.satisfied);
+    // Publishing {fuel, body}: queries 3 ✓; {make, trans}: 1, 2 ✓ → 2 best?
+    // {fuel, color}: query 5 ✓ and query 3 needs body too → 1.
+    assert_eq!(exact.satisfied, 2);
+}
+
+#[test]
+fn numeric_camera_pipeline() {
+    let queries = generate_camera_queries(&CameraConfig {
+        num_queries: 150,
+        seed: 17,
+    });
+    let camera = random_camera(18);
+    let mut last = 0;
+    for m in 0..=5 {
+        let r = solve_numeric(&BruteForce, &queries, &camera, m);
+        assert!(r.satisfied >= last, "m = {m}");
+        last = r.satisfied;
+        // Verify the claimed count directly against the range semantics.
+        let direct = queries
+            .iter()
+            .filter(|q| q.matches(&camera, &r.publish))
+            .count();
+        assert_eq!(direct, r.satisfied);
+    }
+}
+
+#[test]
+fn disjunctive_on_cars() {
+    let log = generate_real_workload(&RealWorkloadConfig {
+        num_queries: 40,
+        ..Default::default()
+    });
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 50,
+        seed: 19,
+    });
+    let car = &sample_new_cars(&dataset, 1, 20)[0];
+    for m in [1, 3, 5] {
+        let inst = SocInstance::new(&log, car, m);
+        let exact = disjunctive::solve_disjunctive_ilp(&inst);
+        let greedy = disjunctive::solve_disjunctive_greedy(&inst);
+        assert!(greedy.satisfied <= exact.satisfied);
+        // Disjunctive coverage dominates conjunctive satisfaction.
+        let conj = BruteForce.solve(&inst);
+        assert!(exact.satisfied >= conj.satisfied, "m = {m}");
+    }
+}
+
+#[test]
+fn domination_variant_on_generated_inventory() {
+    let dataset = generate_cars(&CarsConfig {
+        num_cars: 120,
+        seed: 21,
+    });
+    let car = Tuple::new(AttrSet::full(32)); // fully-loaded car
+    let mut last = 0;
+    for m in [8, 16, 24, 32] {
+        let r = solve_soc_cb_d(&ConsumeAttrCumul, &dataset.db, &car, m);
+        // Bigger budgets can only help a fixed heuristic… not guaranteed
+        // for greedy, so check against direct evaluation instead.
+        let direct = dataset.db.dominated_count(&r.solution.tuple());
+        assert_eq!(direct, r.dominated);
+        last = last.max(r.dominated);
+    }
+    // The full tuple dominates everything.
+    let full = solve_soc_cb_d(&BruteForce, &dataset.db, &car, 32);
+    assert_eq!(full.dominated, dataset.db.len());
+}
