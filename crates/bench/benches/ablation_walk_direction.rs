@@ -3,11 +3,10 @@
 //! query log.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use soc_bench::figs::real_setup;
 use soc_bench::harness::Scale;
 use soc_itemsets::{bottom_up_walk, top_down_walk, ComplementedLog};
+use soc_rng::StdRng;
 use std::hint::black_box;
 
 fn bench_walks(c: &mut Criterion) {

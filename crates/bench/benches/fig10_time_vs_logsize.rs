@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use soc_bench::figs::synthetic_setup;
 use soc_bench::harness::Scale;
 use soc_core::{
-    ConsumeAttr, ConsumeQueries, IlpSolver, MfiPreprocessed, MfiSolver, SocAlgorithm,
-    SocInstance,
+    ConsumeAttr, ConsumeQueries, IlpSolver, MfiPreprocessed, MfiSolver, SocAlgorithm, SocInstance,
 };
 use std::hint::black_box;
 

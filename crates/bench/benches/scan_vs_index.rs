@@ -1,0 +1,58 @@
+//! Criterion microbenchmark for the inverted bitmap index: every
+//! counting kernel of `QueryLog` against its retained naive-scan
+//! baseline, across log sizes. The indexed kernels read the cached
+//! `LogIndex` (primed outside the timing loop), so this measures steady
+//! state — the regime every solver and figure harness runs in, since the
+//! index is built once per log and amortized over thousands of counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_bench::figs::synthetic_setup;
+use soc_bench::harness::Scale;
+use soc_data::AttrSet;
+use std::hint::black_box;
+
+fn bench_scan_vs_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_vs_index");
+    group.sample_size(20);
+
+    for s in [1_000usize, 5_000, 20_000] {
+        let (log, cars) = synthetic_setup(Scale::Quick, s, 32);
+        let t = &cars[0];
+        // A mid-sized conjunction: dense enough to exercise several AND
+        // rows, sparse enough that the early exit does not trivialize it.
+        let items = AttrSet::from_indices(32, [1, 4, 9]);
+        log.index(); // prime the cache so indexed runs measure steady state
+
+        group.bench_with_input(BenchmarkId::new("satisfied/scan", s), &s, |b, _| {
+            b.iter(|| black_box(log.satisfied_count_scan(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("satisfied/index", s), &s, |b, _| {
+            b.iter(|| black_box(log.satisfied_count(t)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("cooccurrence/scan", s), &s, |b, _| {
+            b.iter(|| black_box(log.cooccurrence_count_scan(&items)))
+        });
+        group.bench_with_input(BenchmarkId::new("cooccurrence/index", s), &s, |b, _| {
+            b.iter(|| black_box(log.cooccurrence_count(&items)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("complement/scan", s), &s, |b, _| {
+            b.iter(|| black_box(log.complement_support_scan(&items)))
+        });
+        group.bench_with_input(BenchmarkId::new("complement/index", s), &s, |b, _| {
+            b.iter(|| black_box(log.complement_support(&items)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("frequencies/scan", s), &s, |b, _| {
+            b.iter(|| black_box(log.attribute_frequencies_scan()))
+        });
+        group.bench_with_input(BenchmarkId::new("frequencies/index", s), &s, |b, _| {
+            b.iter(|| black_box(log.attribute_frequencies()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_vs_index);
+criterion_main!(benches);

@@ -3,13 +3,12 @@
 //! level-wise (Apriori) infeasibility on dense complements, and the value
 //! of preprocessing.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use soc_core::{MfiPreprocessed, MfiSolver, SocAlgorithm, SocInstance};
 use soc_itemsets::{
     apriori, bottom_up_walk, top_down_walk, AprioriLimits, AprioriOutcome, ComplementedLog,
     MfiConfig, MfiMiner, StopRule, ThresholdStrategy, TransactionSet, WalkDirection,
 };
+use soc_rng::StdRng;
 
 use crate::figs::real_setup;
 use crate::harness::{measure, Accumulator, Cell, Scale, Table};
@@ -88,7 +87,10 @@ pub fn threshold_strategies(scale: Scale) -> Table {
     let strategies: Vec<(&str, ThresholdStrategy)> = vec![
         ("Fixed 1%", ThresholdStrategy::Fraction(0.01)),
         ("Fixed 5%", ThresholdStrategy::Fraction(0.05)),
-        ("Adaptive", ThresholdStrategy::AdaptiveHalving { initial: None }),
+        (
+            "Adaptive",
+            ThresholdStrategy::AdaptiveHalving { initial: None },
+        ),
         ("Exact r=1", ThresholdStrategy::Exact),
     ];
     let mut table = Table::new(
@@ -139,18 +141,14 @@ pub fn stopping_rule(scale: Scale) -> Table {
         threshold,
         &soc_itemsets::BacktrackLimits::default(),
     );
-    let mut configs: Vec<(String, StopRule, usize)> = vec![
-        ("SeenTwice".into(), StopRule::SeenTwice, 10_000),
-    ];
+    let mut configs: Vec<(String, StopRule, usize)> =
+        vec![("SeenTwice".into(), StopRule::SeenTwice, 10_000)];
     for n in [8, 16, 32, 64, 128, 256, 512] {
         configs.push((format!("Fixed {n}"), StopRule::FixedIterations(n), n));
     }
     let mut runs = Vec::new();
-    let reference: std::collections::HashSet<soc_data::AttrSet> = truth
-        .itemsets()
-        .iter()
-        .map(|f| f.items.clone())
-        .collect();
+    let reference: std::collections::HashSet<soc_data::AttrSet> =
+        truth.itemsets().iter().map(|f| f.items.clone()).collect();
     for (name, stop, max) in &configs {
         let miner = MfiMiner::new(MfiConfig {
             threshold,
@@ -219,7 +217,9 @@ pub fn apriori_explosion(scale: Scale) -> Table {
             "RandomWalk ms".into(),
         ],
     );
-    table.note(format!("Apriori candidate budget {budget}; outcome 1 = complete, 0 = explosion"));
+    table.note(format!(
+        "Apriori candidate budget {budget}; outcome 1 = complete, 0 = explosion"
+    ));
     for threshold in [90, 30] {
         let (ap_time, outcome) = measure(|| {
             apriori(
@@ -415,6 +415,74 @@ pub fn deduplication(scale: Scale) -> Table {
     table
 }
 
+/// Counting-kernel ablation: the naive per-query scans vs the inverted
+/// bitmap index (`LogIndex`), per kernel, across log sizes. The first
+/// indexed call also pays the one-off index build, reported separately —
+/// it is amortized over every subsequent count on the same log.
+pub fn scan_vs_index(scale: Scale) -> Table {
+    let (reps, sizes): (usize, &[usize]) = match scale {
+        Scale::Quick => (200, &[1_000, 5_000]),
+        Scale::Full => (1_000, &[1_000, 5_000, 20_000, 50_000]),
+    };
+    let mut table = Table::new(
+        "Ablation — counting kernels: naive scan vs inverted bitmap index",
+        "kernel/S",
+        vec![
+            "scan µs/call".into(),
+            "index µs/call".into(),
+            "speedup ×".into(),
+            "index build ms".into(),
+        ],
+    );
+    table.note(format!(
+        "{reps} calls per cell; the build cost is paid once per log and \
+         shared by all kernels (blank rows after the first)"
+    ));
+    for &s in sizes {
+        let (log, cars) = crate::figs::synthetic_setup(Scale::Quick, s, 32);
+        let t = &cars[0];
+        let items = soc_data::AttrSet::from_indices(32, [1, 4, 9]);
+        let (build, _) = measure(|| log.index());
+        let micros = |d: std::time::Duration| d.as_secs_f64() * 1e6 / reps as f64;
+        let kernels: Vec<(&str, Box<dyn Fn() -> usize>, Box<dyn Fn() -> usize>)> = vec![
+            (
+                "satisfied",
+                Box::new(|| log.satisfied_count_scan(t)),
+                Box::new(|| log.satisfied_count(t)),
+            ),
+            (
+                "cooccurrence",
+                Box::new(|| log.cooccurrence_count_scan(&items)),
+                Box::new(|| log.cooccurrence_count(&items)),
+            ),
+            (
+                "complement",
+                Box::new(|| log.complement_support_scan(&items)),
+                Box::new(|| log.complement_support(&items)),
+            ),
+        ];
+        for (i, (name, scan, indexed)) in kernels.iter().enumerate() {
+            let (scan_t, scan_sum) = measure(|| (0..reps).map(|_| scan()).sum::<usize>());
+            let (idx_t, idx_sum) = measure(|| (0..reps).map(|_| indexed()).sum::<usize>());
+            assert_eq!(scan_sum, idx_sum, "{name} kernel mismatch at S = {s}");
+            table.push_row(
+                format!("{name}/S={s}"),
+                vec![
+                    Cell::Value(micros(scan_t)),
+                    Cell::Value(micros(idx_t)),
+                    Cell::Value(scan_t.as_secs_f64() / idx_t.as_secs_f64().max(1e-12)),
+                    if i == 0 {
+                        Cell::Time(build)
+                    } else {
+                        Cell::Missing
+                    },
+                ],
+            );
+        }
+    }
+    table
+}
+
 /// Miner ablation: the paper's random walk vs deterministic backtracking
 /// enumeration, mining the complemented real-like log across thresholds.
 pub fn miner_comparison(scale: Scale) -> Table {
@@ -447,8 +515,7 @@ pub fn miner_comparison(scale: Scale) -> Table {
     for &r in thresholds {
         let (wt, wres) = measure(|| walk.mine(&log, r));
         let (bt, bres) = measure(|| back.mine(&log, r));
-        let complete: std::collections::HashSet<_> =
-            bres.iter().map(|f| f.items.clone()).collect();
+        let complete: std::collections::HashSet<_> = bres.iter().map(|f| f.items.clone()).collect();
         let hit = wres.iter().filter(|f| complete.contains(&f.items)).count();
         table.push_row(
             r,
@@ -503,7 +570,9 @@ pub fn log_drift(scale: Scale) -> Table {
                 sums[2] += evaluate(&local.solve(&train));
                 // Hindsight: the optimum computed directly on the future.
                 let test_inst = SocInstance::new(&future, car, m);
-                hindsight_sum += mfi.solve_preprocessed(&mut future_pre, &test_inst).satisfied;
+                hindsight_sum += mfi
+                    .solve_preprocessed(&mut future_pre, &test_inst)
+                    .satisfied;
             }
         }
         table.push_row(

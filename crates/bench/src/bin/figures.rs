@@ -4,7 +4,7 @@
 //!   figures [--quick] [experiment ...]
 //!
 //! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 walk threshold stopping
-//! apriori preprocess gap all (default: all)
+//! apriori preprocess gap dedup index miner drift all (default: all)
 //!
 //! `--quick` averages over 10 cars and truncates sweeps; the default
 //! (full) scale matches the paper's 100-car averages.
@@ -40,6 +40,7 @@ fn main() {
         ("preprocess", ablations::preprocessing),
         ("gap", ablations::greedy_gap),
         ("dedup", ablations::deduplication),
+        ("index", ablations::scan_vs_index),
         ("miner", ablations::miner_comparison),
         ("drift", ablations::log_drift),
     ];

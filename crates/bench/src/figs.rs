@@ -260,7 +260,11 @@ pub fn fig10(scale: Scale) -> Table {
         let (log, cars) = synthetic_setup(scale, s, 32);
         let mut cells = Vec::new();
         if s <= 1000 {
-            let reps = if s > 600 { cars.len().min(5) } else { cars.len() };
+            let reps = if s > 600 {
+                cars.len().min(5)
+            } else {
+                cars.len()
+            };
             let mut acc = Accumulator::default();
             for car in &cars[..reps] {
                 let inst = SocInstance::new(&log, car, m);

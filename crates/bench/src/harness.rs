@@ -32,11 +32,7 @@ pub enum Cell {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        series: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -159,7 +155,10 @@ mod tests {
     fn tsv_rendering() {
         let mut t = Table::new("Demo", "m", vec!["a".into(), "b".into()]);
         t.push_row(3, vec![Cell::Value(1.5), Cell::Missing]);
-        t.push_row(4, vec![Cell::Time(Duration::from_millis(12)), Cell::Value(2.0)]);
+        t.push_row(
+            4,
+            vec![Cell::Time(Duration::from_millis(12)), Cell::Value(2.0)],
+        );
         t.note("note");
         let tsv = t.to_tsv();
         assert!(tsv.contains("# Demo"));

@@ -22,8 +22,8 @@ use std::fmt;
 use soc_core::variants::data_variant::solve_soc_cb_d;
 use soc_core::variants::per_attribute::solve_per_attribute;
 use soc_core::{
-    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch,
-    MfiSolver, SocAlgorithm, SocInstance,
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch, MfiSolver,
+    SocAlgorithm, SocInstance,
 };
 use soc_data::{io as socio, AttrId, QueryLog, Schema, Tuple};
 use soc_workload::{
@@ -306,7 +306,10 @@ fn cmd_generate(rest: &[String]) -> Result<String, CliError> {
         return Err(usage("generate needs a kind: real, synthetic, or cars"));
     };
     let mut args = Args::new(rest);
-    let seed = args.value("--seed")?.map(|s| parse_usize(s, "--seed")).transpose()?;
+    let seed = args
+        .value("--seed")?
+        .map(|s| parse_usize(s, "--seed"))
+        .transpose()?;
     match kind.as_str() {
         "real" => {
             let mut cfg = RealWorkloadConfig::default();
@@ -403,7 +406,9 @@ attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
 
     #[test]
     fn solve_fig1() {
-        for algo in ["brute", "ilp", "mfi", "mfi-det", "attr", "cumul", "queries", "local"] {
+        for algo in [
+            "brute", "ilp", "mfi", "mfi-det", "attr", "cumul", "queries", "local",
+        ] {
             let out = run_ok(&[
                 "solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--algo", algo,
             ]);
@@ -441,7 +446,10 @@ attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
     #[test]
     fn stats_summary() {
         let out = run_ok(&["stats", "--log", "log.txt"]);
-        assert!(out.contains("queries:        5 (5 distinct, total weight 5)"), "{out}");
+        assert!(
+            out.contains("queries:        5 (5 distinct, total weight 5)"),
+            "{out}"
+        );
         assert!(out.contains("power_doors"), "{out}");
     }
 
@@ -472,8 +480,7 @@ attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
             2
         );
         assert_eq!(
-            run_err(&["solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--bogus"])
-                .code,
+            run_err(&["solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--bogus"]).code,
             2
         );
         // Runtime errors: missing file, width mismatch.

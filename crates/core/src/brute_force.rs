@@ -42,8 +42,7 @@ mod tests {
     #[test]
     fn solves_fig1() {
         let log =
-            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
-                .unwrap();
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
         let t = Tuple::from_bitstring("110111").unwrap();
         let sol = BruteForce.solve(&SocInstance::new(&log, &t, 3));
         assert_eq!(sol.satisfied, 3);

@@ -96,6 +96,7 @@ impl SocAlgorithm for ConsumeQueries {
         let m_attrs = instance.log.num_attrs();
         let t = instance.tuple.attrs();
         let budget = instance.effective_m();
+        let freq = instance.log.attribute_frequencies();
         let mut selected = AttrSet::empty(m_attrs);
 
         // Only queries satisfiable by the full tuple can ever pay off.
@@ -115,26 +116,33 @@ impl SocAlgorithm for ConsumeQueries {
                 .iter()
                 .enumerate()
                 .map(|(i, (q, w))| {
-                    (i, (q.attrs().difference(&selected).count(), std::cmp::Reverse(*w)))
+                    (
+                        i,
+                        (
+                            q.attrs().difference(&selected).count(),
+                            std::cmp::Reverse(*w),
+                        ),
+                    )
                 })
                 .min_by_key(|&(_, key)| key)
                 .expect("open is non-empty");
             let new_attrs = open[idx].0.attrs().difference(&selected);
-            open.swap_remove(idx);
-            for j in new_attrs.iter() {
-                if selected.count() >= budget {
-                    break;
-                }
-                selected.insert(j);
+            // If even the cheapest query no longer fits the remaining
+            // budget, consuming an arbitrary ascending prefix of it can
+            // never satisfy it; stop consuming queries and let the
+            // frequency fallback below spend the leftover instead.
+            if new_attrs.count() > budget - selected.count() {
+                break;
             }
+            open.swap_remove(idx);
+            selected.union_with(&new_attrs);
         }
 
-        // Spend any leftover budget on frequent attributes rather than
-        // wasting it (only matters when few queries are satisfiable).
+        // Spend any leftover budget on the highest-frequency attributes
+        // rather than wasting it (few satisfiable queries, or the next
+        // cheapest query no longer fits).
         if selected.count() < budget {
-            let freq = instance.log.attribute_frequencies();
-            let mut rest: Vec<usize> =
-                t.iter().filter(|&j| !selected.contains(j)).collect();
+            let mut rest: Vec<usize> = t.iter().filter(|&j| !selected.contains(j)).collect();
             rest.sort_by_key(|&j| (std::cmp::Reverse(freq[j]), j));
             for j in rest {
                 if selected.count() >= budget {
@@ -155,8 +163,7 @@ mod tests {
 
     fn fig1() -> (QueryLog, Tuple) {
         let log =
-            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
-                .unwrap();
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
         let t = Tuple::from_bitstring("110111").unwrap();
         (log, t)
     }
@@ -229,6 +236,50 @@ mod tests {
             let sol = algo.solve(&SocInstance::new(&log, &t, 2));
             assert_eq!(sol.satisfied, 0, "{}", algo.name());
         }
+    }
+
+    #[test]
+    fn leftover_budget_goes_to_frequent_attributes_not_a_prefix() {
+        // t = {0,1,2,3}. The only satisfiable query needs 3 new
+        // attributes but the budget is 2, so no selection can satisfy
+        // it. The pre-fix code consumed it anyway and kept the arbitrary
+        // ascending prefix {0, 1}; the fix stops consuming and spends
+        // the leftover on the globally most frequent attributes — here
+        // {2, 3}, whose frequencies are boosted by queries outside t.
+        let log = QueryLog::from_bitstrings(&[
+            "11100", // {0,1,2} ⊆ t, needs 3 > budget
+            "00101", // {2,4} ⊄ t, boosts freq[2]
+            "00101", // {2,4} ⊄ t, boosts freq[2]
+            "00011", // {3,4} ⊄ t, boosts freq[3]
+            "00011", // {3,4} ⊄ t, boosts freq[3]
+        ])
+        .unwrap();
+        let t = Tuple::from_bitstring("11110").unwrap();
+        // freq = [1, 1, 3, 2, 4]; among t's attributes, 2 then 3 win.
+        let sol = ConsumeQueries.solve(&SocInstance::new(&log, &t, 2));
+        assert_eq!(sol.retained.to_indices(), vec![2, 3]);
+        // The objective itself is invariant under the final-fill choice:
+        // a query still open at the final round needs more new
+        // attributes than the remaining budget (anything cheaper would
+        // have been the minimum and been consumed), so no room-sized
+        // fill can complete one. The fix pins the *selection* to the
+        // most promising attributes instead of an arbitrary prefix.
+        assert_eq!(sol.satisfied, 0);
+        let old_prefix = Tuple::from_bitstring("11000").unwrap();
+        assert_eq!(log.satisfied_count(&old_prefix), sol.satisfied);
+    }
+
+    #[test]
+    fn unfitting_query_is_not_consumed_before_smaller_ones() {
+        // Budget 2: q = {2} (1 new attr) fits and is consumed; then
+        // q = {0,1,2} needs 2 new attrs {0,1} and fits exactly, so it is
+        // consumed too — full consumption must still work after the
+        // truncation fix.
+        let log = QueryLog::from_bitstrings(&["00100", "11100"]).unwrap();
+        let t = Tuple::from_bitstring("11110").unwrap();
+        let sol = ConsumeQueries.solve(&SocInstance::new(&log, &t, 3));
+        assert_eq!(sol.retained.to_indices(), vec![0, 1, 2]);
+        assert_eq!(sol.satisfied, 2);
     }
 
     #[test]

@@ -89,19 +89,11 @@ impl IlpSolver {
             let y = model.add_binary();
             objective = objective.plus(instance.log.weight(id) as f64, y);
             for j in q.attrs().iter() {
-                model.add_constraint(
-                    LinExpr::new().plus(1.0, y).plus(-1.0, xs[j]),
-                    Cmp::Le,
-                    0.0,
-                );
+                model.add_constraint(LinExpr::new().plus(1.0, y).plus(-1.0, xs[j]), Cmp::Le, 0.0);
             }
         }
         model.set_objective(objective);
-        model.add_constraint(
-            LinExpr::sum(xs.iter().copied()),
-            Cmp::Le,
-            instance.m as f64,
-        );
+        model.add_constraint(LinExpr::sum(xs.iter().copied()), Cmp::Le, instance.m as f64);
         model
     }
 
@@ -149,10 +141,8 @@ impl SocAlgorithm for IlpSolver {
         }
         .expect("SOC ILP is always feasible (all-zero is a solution)");
         let m_attrs = instance.log.num_attrs();
-        let retained = soc_data::AttrSet::from_indices(
-            m_attrs,
-            (0..m_attrs).filter(|&j| mip.values[j] > 0.5),
-        );
+        let retained =
+            soc_data::AttrSet::from_indices(m_attrs, (0..m_attrs).filter(|&j| mip.values[j] > 0.5));
         instance.solution(retained)
     }
 }
@@ -165,8 +155,7 @@ mod tests {
 
     fn fig1() -> (QueryLog, Tuple) {
         let log =
-            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
-                .unwrap();
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
         let t = Tuple::from_bitstring("110111").unwrap();
         (log, t)
     }
@@ -270,10 +259,8 @@ mod verbatim_tests {
 
     #[test]
     fn verbatim_configuration_is_still_exact() {
-        let log = QueryLog::from_bitstrings(&[
-            "110000", "100100", "010100", "000101", "001010",
-        ])
-        .unwrap();
+        let log =
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
         let t = Tuple::from_bitstring("110111").unwrap();
         let v = IlpSolver::verbatim();
         assert!(!v.prune_hopeless_queries && !v.warm_start && !v.presolve);

@@ -9,7 +9,6 @@
 //! between the seeding greedy and the exact optimum by construction —
 //! property-tested in the crate tests.
 
-
 use crate::{ConsumeAttr, ConsumeAttrCumul, SocAlgorithm, SocInstance, Solution};
 
 /// Greedy-seeded 1-swap hill climber.
@@ -35,8 +34,7 @@ impl LocalSearch {
         for _ in 0..self.max_rounds {
             let mut improved = false;
             let inside: Vec<usize> = retained.iter().collect();
-            let outside: Vec<usize> =
-                t.iter().filter(|&j| !retained.contains(j)).collect();
+            let outside: Vec<usize> = t.iter().filter(|&j| !retained.contains(j)).collect();
             'scan: for &out in &inside {
                 for &in_ in &outside {
                     let candidate = retained.without(out).with(in_);
@@ -111,8 +109,7 @@ mod tests {
     #[test]
     fn never_worse_than_seed_on_fig1() {
         let log =
-            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
-                .unwrap();
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
         let t = Tuple::from_bitstring("110111").unwrap();
         for m in 0..=5 {
             let inst = SocInstance::new(&log, &t, m);

@@ -20,13 +20,12 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use soc_data::{AttrSet, Combinations, QueryLog};
 use soc_itemsets::{
     backtracking_mfi, BacktrackLimits, ComplementedLog, FrequentItemset, MfiConfig, MfiMiner,
     StopRule, ThresholdStrategy, WalkDirection,
 };
+use soc_rng::StdRng;
 
 use crate::{SocAlgorithm, SocInstance, Solution};
 
@@ -139,11 +138,7 @@ impl MfiSolver {
     /// One attempt at a given threshold: scan the mined maximal itemsets
     /// for the best level-`M − m` superset of `~t`. Returns `None` when
     /// no qualifying itemset exists (optimum < threshold).
-    fn attempt(
-        &self,
-        instance: &SocInstance<'_>,
-        mfis: &[FrequentItemset],
-    ) -> Option<Solution> {
+    fn attempt(&self, instance: &SocInstance<'_>, mfis: &[FrequentItemset]) -> Option<Solution> {
         let m_attrs = instance.log.num_attrs();
         let t = instance.tuple.attrs();
         let not_t = t.complement();
@@ -273,17 +268,12 @@ impl SocAlgorithm for SharedMfi {
     }
 
     fn solve(&self, instance: &SocInstance<'_>) -> Solution {
-        let mut r = self
-            .solver
-            .threshold
-            .initial(instance.log.len().max(1));
+        let mut r = self.solver.threshold.initial(instance.log.len().max(1));
         loop {
             // Fast path: solve against the read-locked cache.
             let hit = {
                 let cache = self.cache.read().expect("cache lock poisoned");
-                cache
-                    .get(r)
-                    .map(|mfis| self.solver.attempt(instance, mfis))
+                cache.get(r).map(|mfis| self.solver.attempt(instance, mfis))
             };
             match hit {
                 Some(Some(sol)) => return sol,
@@ -331,8 +321,7 @@ mod tests {
 
     fn fig1() -> (QueryLog, Tuple) {
         let log =
-            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
-                .unwrap();
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
         let t = Tuple::from_bitstring("110111").unwrap();
         (log, t)
     }

@@ -121,8 +121,7 @@ mod tests {
 
     fn fig1() -> (QueryLog, Tuple) {
         let log =
-            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"])
-                .unwrap();
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
         let t = Tuple::from_bitstring("110111").unwrap();
         (log, t)
     }

@@ -57,11 +57,21 @@ mod tests {
             values: vec![0, 1, 0, 0], // honda, blue, auto, sedan
         };
         let queries = vec![
-            CatQuery { conditions: vec![Some(0), None, None, None] },   // make=honda ✓
-            CatQuery { conditions: vec![Some(0), Some(1), None, None] },// honda+blue ✓
-            CatQuery { conditions: vec![Some(1), None, None, None] },   // toyota ✗
-            CatQuery { conditions: vec![None, None, Some(0), Some(1)] },// auto+suv ✗ (body)
-            CatQuery { conditions: vec![None, None, Some(0), None] },   // auto ✓
+            CatQuery {
+                conditions: vec![Some(0), None, None, None],
+            }, // make=honda ✓
+            CatQuery {
+                conditions: vec![Some(0), Some(1), None, None],
+            }, // honda+blue ✓
+            CatQuery {
+                conditions: vec![Some(1), None, None, None],
+            }, // toyota ✗
+            CatQuery {
+                conditions: vec![None, None, Some(0), Some(1)],
+            }, // auto+suv ✗ (body)
+            CatQuery {
+                conditions: vec![None, None, Some(0), None],
+            }, // auto ✓
         ];
         let r = solve_categorical(&BruteForce, &s, &queries, &t, 2);
         // Publishing {make, color} satisfies queries 1 and 2 = 2;
@@ -74,17 +84,22 @@ mod tests {
     #[test]
     fn direct_evaluation_agrees() {
         let s = schema();
-        let t = CatTuple { values: vec![0, 0, 1, 1] };
+        let t = CatTuple {
+            values: vec![0, 0, 1, 1],
+        };
         let queries = vec![
-            CatQuery { conditions: vec![Some(0), Some(0), None, None] },
-            CatQuery { conditions: vec![None, Some(0), Some(1), None] },
-            CatQuery { conditions: vec![None, None, None, Some(1)] },
+            CatQuery {
+                conditions: vec![Some(0), Some(0), None, None],
+            },
+            CatQuery {
+                conditions: vec![None, Some(0), Some(1), None],
+            },
+            CatQuery {
+                conditions: vec![None, None, None, Some(1)],
+            },
         ];
         let r = solve_categorical(&BruteForce, &s, &queries, &t, 2);
-        let direct = queries
-            .iter()
-            .filter(|q| q.matches(&t, &r.publish))
-            .count();
+        let direct = queries.iter().filter(|q| q.matches(&t, &r.publish)).count();
         assert_eq!(direct, r.satisfied);
     }
 }

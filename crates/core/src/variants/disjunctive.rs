@@ -92,8 +92,7 @@ pub fn solve_disjunctive_ilp(instance: &SocInstance<'_>) -> Solution {
             ..Default::default()
         })
         .expect("disjunctive ILP is always feasible");
-    let retained =
-        AttrSet::from_indices(m_attrs, (0..m_attrs).filter(|&j| mip.values[j] > 0.5));
+    let retained = AttrSet::from_indices(m_attrs, (0..m_attrs).filter(|&j| mip.values[j] > 0.5));
     let satisfied = disjunctive_objective(instance, &retained);
     debug_assert_eq!(satisfied, mip.objective.round() as usize);
     Solution {

@@ -69,10 +69,7 @@ mod tests {
         let r = solve_numeric(&BruteForce, &queries, &t, 2);
         // Publishing {price, megapixels} satisfies queries 1 and 2.
         assert_eq!(r.satisfied, 2);
-        let direct = queries
-            .iter()
-            .filter(|q| q.matches(&t, &r.publish))
-            .count();
+        let direct = queries.iter().filter(|q| q.matches(&t, &r.publish)).count();
         assert_eq!(direct, 2);
     }
 
@@ -144,7 +141,10 @@ pub fn solve_numeric_topk<A: SocAlgorithm + ?Sized>(
     m: usize,
 ) -> NumericTopkSolution {
     assert!(k > 0, "top-k retrieval needs k >= 1");
-    assert!(rank_attr < tuple.values.len(), "rank attribute out of range");
+    assert!(
+        rank_attr < tuple.values.len(),
+        "rank attribute out of range"
+    );
     let my_rank = tuple.values[rank_attr];
     let outranks = |v: f64| match direction {
         RankDirection::Ascending => v < my_rank,
@@ -187,18 +187,28 @@ mod topk_tests {
 
     fn catalog() -> Vec<NumTuple> {
         vec![
-            NumTuple { values: vec![300.0, 10.0] }, // cheap, 10 MP
-            NumTuple { values: vec![400.0, 20.0] },
-            NumTuple { values: vec![800.0, 30.0] }, // pricey, 30 MP
+            NumTuple {
+                values: vec![300.0, 10.0],
+            }, // cheap, 10 MP
+            NumTuple {
+                values: vec![400.0, 20.0],
+            },
+            NumTuple {
+                values: vec![800.0, 30.0],
+            }, // pricey, 30 MP
         ]
     }
 
     fn queries() -> Vec<RangeQuery> {
         vec![
             // price <= 500
-            RangeQuery { conditions: vec![Some(Range::new(0.0, 500.0)), None] },
+            RangeQuery {
+                conditions: vec![Some(Range::new(0.0, 500.0)), None],
+            },
             // mp >= 15
-            RangeQuery { conditions: vec![None, Some(Range::new(15.0, 100.0))] },
+            RangeQuery {
+                conditions: vec![None, Some(Range::new(15.0, 100.0))],
+            },
             // price <= 600 and mp >= 10
             RangeQuery {
                 conditions: vec![Some(Range::new(0.0, 600.0)), Some(Range::new(10.0, 100.0))],
@@ -209,9 +219,18 @@ mod topk_tests {
     #[test]
     fn price_ranking_filters_crowded_queries() {
         // New camera: $450, 18 MP. Ranked by ascending price, k = 1.
-        let cam = NumTuple { values: vec![450.0, 18.0] };
+        let cam = NumTuple {
+            values: vec![450.0, 18.0],
+        };
         let r = solve_numeric_topk(
-            &BruteForce, &catalog(), &queries(), 0, RankDirection::Ascending, 1, &cam, 2,
+            &BruteForce,
+            &catalog(),
+            &queries(),
+            0,
+            RankDirection::Ascending,
+            1,
+            &cam,
+            2,
         );
         // q1 (price<=500): cheaper matches at 300, 400 → 2 ≥ 1, unwinnable.
         // q2 (mp>=15): matching catalog = 400 & 800; cheaper-than-450 match
@@ -222,7 +241,14 @@ mod topk_tests {
 
         // With k = 3 everything opens up.
         let r3 = solve_numeric_topk(
-            &BruteForce, &catalog(), &queries(), 0, RankDirection::Ascending, 3, &cam, 2,
+            &BruteForce,
+            &catalog(),
+            &queries(),
+            0,
+            RankDirection::Ascending,
+            3,
+            &cam,
+            2,
         );
         assert_eq!(r3.winnable_queries, 3);
         assert_eq!(r3.visible_in, 3); // publishing both attrs covers all
@@ -231,16 +257,32 @@ mod topk_tests {
     #[test]
     fn descending_rank_flips_the_competition() {
         // Rank by megapixels descending: the 30 MP model outranks us.
-        let cam = NumTuple { values: vec![450.0, 18.0] };
+        let cam = NumTuple {
+            values: vec![450.0, 18.0],
+        };
         let r = solve_numeric_topk(
-            &BruteForce, &catalog(), &queries(), 1, RankDirection::Descending, 1, &cam, 2,
+            &BruteForce,
+            &catalog(),
+            &queries(),
+            1,
+            RankDirection::Descending,
+            1,
+            &cam,
+            2,
         );
         // q1 (price<=500): higher-MP matches? 300→10MP no, 400→20MP yes → 1 ≥ 1 unwinnable.
         // q2 (mp>=15): 800 (30MP) and 400 (20MP) both higher → unwinnable.
         // q3: 400 (20MP) higher → unwinnable.
         assert_eq!(r.winnable_queries, 0);
         let r2 = solve_numeric_topk(
-            &BruteForce, &catalog(), &queries(), 1, RankDirection::Descending, 2, &cam, 2,
+            &BruteForce,
+            &catalog(),
+            &queries(),
+            1,
+            RankDirection::Descending,
+            2,
+            &cam,
+            2,
         );
         // k = 2: q1 has 1 better → winnable; q3 has 1 better → winnable.
         assert_eq!(r2.winnable_queries, 2);
@@ -248,9 +290,18 @@ mod topk_tests {
 
     #[test]
     fn budget_still_binds() {
-        let cam = NumTuple { values: vec![450.0, 18.0] };
+        let cam = NumTuple {
+            values: vec![450.0, 18.0],
+        };
         let r = solve_numeric_topk(
-            &BruteForce, &catalog(), &queries(), 0, RankDirection::Ascending, 3, &cam, 1,
+            &BruteForce,
+            &catalog(),
+            &queries(),
+            0,
+            RankDirection::Ascending,
+            3,
+            &cam,
+            1,
         );
         // Only one attribute may be published; q3 needs both.
         assert!(r.visible_in <= 2);

@@ -180,8 +180,7 @@ mod tests {
             "001111", // 4 features
         ])
         .unwrap();
-        let log =
-            QueryLog::from_bitstrings(&["110000", "001100", "000011", "100000"]).unwrap();
+        let log = QueryLog::from_bitstrings(&["110000", "001100", "000011", "100000"]).unwrap();
         let t = Tuple::from_bitstring("111111").unwrap();
         (db, log, t)
     }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use soc_core::variants::disjunctive;
 use soc_core::{
-    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch,
-    MfiSolver, SocAlgorithm, SocInstance,
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch, MfiSolver,
+    SocAlgorithm, SocInstance,
 };
 use soc_data::{AttrSet, QueryLog, Tuple};
 
@@ -27,10 +27,7 @@ fn instance() -> impl Strategy<Value = Instance> {
         0usize..=M,
     )
         .prop_map(|(rows, tbits, m)| Instance {
-            log: QueryLog::from_attr_sets(
-                M,
-                rows.iter().map(|r| AttrSet::from_bools(r)).collect(),
-            ),
+            log: QueryLog::from_attr_sets(M, rows.iter().map(|r| AttrSet::from_bools(r)).collect()),
             tuple: Tuple::new(AttrSet::from_bools(&tbits)),
             m,
         })

@@ -161,7 +161,11 @@ impl AttrSet {
     /// Panics if `i >= universe`.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
-        assert!(i < self.universe(), "attribute {i} out of universe {}", self.universe);
+        assert!(
+            i < self.universe(),
+            "attribute {i} out of universe {}",
+            self.universe
+        );
         self.words()[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
     }
 
@@ -177,7 +181,11 @@ impl AttrSet {
     /// Panics if `i >= universe`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.universe(), "attribute {i} out of universe {}", self.universe);
+        assert!(
+            i < self.universe(),
+            "attribute {i} out of universe {}",
+            self.universe
+        );
         self.words_mut()[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
@@ -187,7 +195,11 @@ impl AttrSet {
     /// Panics if `i >= universe`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.universe(), "attribute {i} out of universe {}", self.universe);
+        assert!(
+            i < self.universe(),
+            "attribute {i} out of universe {}",
+            self.universe
+        );
         self.words_mut()[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 

@@ -1,0 +1,285 @@
+//! The inverted bitmap index over a query log.
+//!
+//! Every SOC algorithm bottoms out in three counting kernels on
+//! [`QueryLog`](crate::QueryLog) — `satisfied_count`, `cooccurrence_count`
+//! and `complement_support` — and each naive implementation rescans all
+//! `S` queries with a per-query subset test. [`LogIndex`] is the standard
+//! vertical-layout trick from the frequent-itemset literature (TID lists
+//! à la Eclat/MAFIA): one bitmap over *query ids* per attribute, so that
+//!
+//! - `cooccurrence_count(A)` is the weighted popcount of the AND of A's
+//!   attribute bitmaps,
+//! - `complement_support(I)` is the weighted popcount of the AND of the
+//!   *complemented* bitmaps of I (queries touching no attribute of I),
+//! - `satisfied_count(t)` is `complement_support(¬t)`, because a
+//!   conjunctive query retrieves `t` iff it touches no attribute missing
+//!   from `t` (`q ⊆ t ⇔ q ∩ ¬t = ∅`).
+//!
+//! Each kernel thus costs `O(k · S/64)` word operations for `k` operand
+//! attributes instead of `O(S · M/64)`, with an early exit once the
+//! accumulator empties. With unit weights the final count is a popcount;
+//! with general weights the set bits are iterated and their weights
+//! summed.
+//!
+//! The index is immutable and derived purely from the log's queries and
+//! weights; `QueryLog` builds it lazily and caches it in a
+//! `OnceLock<Arc<LogIndex>>` (see DESIGN.md for the invalidation rules).
+
+use crate::{AttrSet, QueryLog, Tuple};
+
+/// An inverted bitmap index: for each attribute, the set of query ids
+/// whose query specifies that attribute, as a packed `u64` bitmap.
+#[derive(Debug)]
+pub struct LogIndex {
+    /// `S`, the number of queries indexed.
+    num_queries: usize,
+    /// `ceil(S / 64)`: words per attribute row.
+    row_words: usize,
+    /// `M × row_words` words, row-major: row `a` covers
+    /// `attr_bits[a*row_words .. (a+1)*row_words]`.
+    attr_bits: Vec<u64>,
+    /// Per-query weights, in query-id order.
+    weights: Vec<usize>,
+    /// True when every weight is 1: counting reduces to popcount.
+    unit_weights: bool,
+    /// Sum of all weights.
+    total_weight: usize,
+    /// Weighted per-attribute frequency (the weight of each row).
+    attr_weight: Vec<usize>,
+}
+
+impl LogIndex {
+    /// Builds the index in one pass over the log: `O(S · M/64)` time,
+    /// `M · S/64` words of space.
+    pub fn build(log: &QueryLog) -> LogIndex {
+        let num_queries = log.len();
+        let num_attrs = log.num_attrs();
+        let row_words = num_queries.div_ceil(64);
+        let mut attr_bits = vec![0u64; num_attrs * row_words];
+        let mut attr_weight = vec![0usize; num_attrs];
+        let mut weights = Vec::with_capacity(num_queries);
+        let mut total_weight = 0usize;
+        let mut unit_weights = true;
+        for (id, q) in log.iter() {
+            let i = id.0 as usize;
+            let w = log.weight(id);
+            weights.push(w);
+            total_weight += w;
+            unit_weights &= w == 1;
+            for a in q.attrs().iter() {
+                attr_bits[a * row_words + i / 64] |= 1u64 << (i % 64);
+                attr_weight[a] += w;
+            }
+        }
+        LogIndex {
+            num_queries,
+            row_words,
+            attr_bits,
+            weights,
+            unit_weights,
+            total_weight,
+            attr_weight,
+        }
+    }
+
+    /// `S`, the number of queries indexed.
+    #[inline]
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    /// Sum of all query weights.
+    #[inline]
+    pub fn total_weight(&self) -> usize {
+        self.total_weight
+    }
+
+    /// Weighted per-attribute frequencies (`freq[j]` = total weight of
+    /// queries specifying attribute `j`), read straight off the index.
+    pub fn attribute_frequencies(&self) -> Vec<usize> {
+        self.attr_weight.clone()
+    }
+
+    /// The bitmap row of one attribute.
+    #[inline]
+    fn row(&self, attr: usize) -> &[u64] {
+        &self.attr_bits[attr * self.row_words..(attr + 1) * self.row_words]
+    }
+
+    /// Total weight of the queries whose bits are set in `acc`.
+    fn weigh(&self, acc: &[u64]) -> usize {
+        if self.unit_weights {
+            return acc.iter().map(|w| w.count_ones() as usize).sum();
+        }
+        let mut sum = 0usize;
+        for (wi, &word) in acc.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = wi * 64 + bits.trailing_zeros() as usize;
+                sum += self.weights[i];
+                bits &= bits - 1;
+            }
+        }
+        sum
+    }
+
+    /// An accumulator with a set bit for every query id (tail bits of the
+    /// last word clear, so complemented rows never leak phantom ids).
+    fn full_acc(&self) -> Vec<u64> {
+        let mut acc = vec![!0u64; self.row_words];
+        let tail = self.num_queries % 64;
+        if tail != 0 {
+            acc[self.row_words - 1] = (1u64 << tail) - 1;
+        }
+        acc
+    }
+
+    /// Total weight of queries specifying *every* attribute in `attrs`:
+    /// the AND of the operand rows, weighed. An empty `attrs` co-occurs
+    /// in every query.
+    pub fn cooccurrence_count(&self, attrs: &AttrSet) -> usize {
+        let mut ones = attrs.iter();
+        let Some(first) = ones.next() else {
+            return self.total_weight;
+        };
+        let mut acc = self.row(first).to_vec();
+        for a in ones {
+            let mut any = 0u64;
+            for (acc_w, &row_w) in acc.iter_mut().zip(self.row(a)) {
+                *acc_w &= row_w;
+                any |= *acc_w;
+            }
+            if any == 0 {
+                return 0;
+            }
+        }
+        self.weigh(&acc)
+    }
+
+    /// Total weight of queries disjoint from `items` — the support of
+    /// `items` in the complemented log `~Q`: the AND of the *complemented*
+    /// operand rows, weighed.
+    pub fn complement_support(&self, items: &AttrSet) -> usize {
+        let mut acc = self.full_acc();
+        self.and_not_rows(&mut acc, items.iter());
+        self.weigh(&acc)
+    }
+
+    /// The SOC objective: total weight of queries `q ⊆ t`, computed as
+    /// `complement_support(¬t)` without materializing `¬t`.
+    pub fn satisfied_count(&self, t: &Tuple) -> usize {
+        let mut acc = self.full_acc();
+        let absent = t.attrs().complement();
+        self.and_not_rows(&mut acc, absent.iter());
+        self.weigh(&acc)
+    }
+
+    /// Total weight of queries sharing at least one attribute with `t`
+    /// (disjunctive semantics): everything except the queries disjoint
+    /// from `t`. Note the empty query matches *nothing* disjunctively.
+    pub fn satisfied_count_disjunctive(&self, t: &Tuple) -> usize {
+        self.total_weight - self.complement_support(t.attrs())
+    }
+
+    /// Clears from `acc` every query touching any attribute in `ops`,
+    /// with an early exit once the accumulator empties.
+    fn and_not_rows(&self, acc: &mut [u64], ops: impl Iterator<Item = usize>) {
+        for a in ops {
+            let mut any = 0u64;
+            for (acc_w, &row_w) in acc.iter_mut().zip(self.row(a)) {
+                *acc_w &= !row_w;
+                any |= *acc_w;
+            }
+            if any == 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryLog;
+
+    fn fig1_log() -> QueryLog {
+        QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap()
+    }
+
+    #[test]
+    fn builds_expected_rows() {
+        let log = fig1_log();
+        let idx = LogIndex::build(&log);
+        assert_eq!(idx.num_queries(), 5);
+        assert_eq!(idx.total_weight(), 5);
+        // Attribute 0 appears in q1 and q2 → bits 0 and 1.
+        assert_eq!(idx.row(0), &[0b00011]);
+        // Attribute 3 appears in q2, q3, q4 → bits 1, 2, 3.
+        assert_eq!(idx.row(3), &[0b01110]);
+        assert_eq!(idx.attribute_frequencies(), vec![2, 2, 1, 3, 1, 1]);
+    }
+
+    #[test]
+    fn kernels_match_paper_example() {
+        let log = fig1_log();
+        let idx = LogIndex::build(&log);
+        let t = Tuple::from_bitstring("110100").unwrap();
+        assert_eq!(idx.satisfied_count(&t), 3);
+        assert_eq!(idx.cooccurrence_count(&AttrSet::from_indices(6, [0, 3])), 1);
+        assert_eq!(idx.complement_support(&AttrSet::from_indices(6, [2, 4])), 4);
+        assert_eq!(idx.cooccurrence_count(&AttrSet::empty(6)), 5);
+        assert_eq!(idx.complement_support(&AttrSet::empty(6)), 5);
+    }
+
+    #[test]
+    fn weighted_counting_uses_weights() {
+        let log = fig1_log().deduplicate(); // still unit weights
+        let idx = LogIndex::build(&log);
+        assert!(idx.unit_weights);
+
+        let weighted = QueryLog::new_weighted(
+            std::sync::Arc::clone(fig1_log().schema()),
+            fig1_log().queries().to_vec(),
+            vec![1, 2, 3, 4, 5],
+        );
+        let idx = LogIndex::build(&weighted);
+        assert!(!idx.unit_weights);
+        assert_eq!(idx.total_weight(), 15);
+        let t = Tuple::from_bitstring("110100").unwrap();
+        // q1 (w=1), q2 (w=2), q3 (w=3) are satisfied.
+        assert_eq!(idx.satisfied_count(&t), 6);
+        assert_eq!(idx.attribute_frequencies(), vec![3, 4, 5, 9, 5, 4]);
+    }
+
+    #[test]
+    fn empty_log_counts_are_zero() {
+        let log = QueryLog::from_bitstrings(&[]).unwrap();
+        let idx = LogIndex::build(&log);
+        assert_eq!(idx.total_weight(), 0);
+        assert_eq!(idx.satisfied_count(&Tuple::from_bitstring("").unwrap()), 0);
+        assert_eq!(idx.complement_support(&AttrSet::empty(0)), 0);
+        assert_eq!(idx.cooccurrence_count(&AttrSet::empty(0)), 0);
+    }
+
+    #[test]
+    fn more_than_64_queries_span_words() {
+        let universe = 7;
+        let sets: Vec<AttrSet> = (0..150)
+            .map(|i| AttrSet::from_indices(universe, [i % universe, (i / 2) % universe]))
+            .collect();
+        let log = QueryLog::from_attr_sets(universe, sets);
+        let idx = LogIndex::build(&log);
+        assert_eq!(idx.row_words, 3);
+        for a in 0..universe {
+            let probe = AttrSet::from_indices(universe, [a]);
+            assert_eq!(
+                idx.cooccurrence_count(&probe),
+                log.cooccurrence_count_scan(&probe)
+            );
+            assert_eq!(
+                idx.complement_support(&probe),
+                log.complement_support_scan(&probe)
+            );
+        }
+    }
+}

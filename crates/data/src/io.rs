@@ -113,7 +113,11 @@ fn parse_rows(text: &str, allow_weights: bool) -> Result<ParsedRows, ParseError>
             if bits.universe() != s.len() {
                 return Err(err(
                     line_no,
-                    format!("row width {} does not match schema width {}", bits.universe(), s.len()),
+                    format!(
+                        "row width {} does not match schema width {}",
+                        bits.universe(),
+                        s.len()
+                    ),
                 ));
             }
         } else if let Some((first, _)) = rows.first() {

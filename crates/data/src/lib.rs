@@ -11,6 +11,7 @@
 //! - [`Tuple`] — Boolean tuples with domination and compression;
 //! - [`Query`] / [`QueryLog`] — conjunctive Boolean queries and workloads,
 //!   including the complement-support counting the MFI algorithm relies on;
+//! - [`LogIndex`] — the inverted bitmap index the counting kernels run on;
 //! - [`Database`] — tuple collections with retrieval and domination counts,
 //!   and the SOC-CB-D → SOC-CB-QL reduction;
 //! - [`Combinations`] — lexicographic k-subset enumeration;
@@ -38,9 +39,10 @@
 
 mod bitset;
 pub mod categorical;
-pub mod io;
 mod combinations;
 mod database;
+mod index;
+pub mod io;
 pub mod numeric;
 mod query;
 mod querylog;
@@ -50,6 +52,7 @@ mod tuple;
 pub use bitset::{AttrSet, Ones};
 pub use combinations::Combinations;
 pub use database::Database;
+pub use index::LogIndex;
 pub use query::{Query, QueryId};
 pub use querylog::{QueryLog, QueryLogStats};
 pub use schema::{AttrId, Schema};

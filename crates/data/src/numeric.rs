@@ -230,11 +230,14 @@ mod tests {
         let qs = queries();
         let red = reduce_numeric_literal(&qs, &t);
         assert_eq!(red.log.len(), 3); // nothing dropped
-        // The weakened out-of-range query becomes the empty query, which
-        // is satisfied by anything — the overcount the module docs warn of.
+                                      // The weakened out-of-range query becomes the empty query, which
+                                      // is satisfied by anything — the overcount the module docs warn of.
         let none = Tuple::new(AttrSet::empty(3));
         assert_eq!(red.log.satisfied_count(&none), 1);
-        let direct = qs.iter().filter(|q| q.matches(&t, &AttrSet::empty(3))).count();
+        let direct = qs
+            .iter()
+            .filter(|q| q.matches(&t, &AttrSet::empty(3)))
+            .count();
         assert_eq!(direct, 0);
     }
 }

@@ -2,9 +2,9 @@
 //! the greedy heuristics consume.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::{AttrSet, Query, QueryId, Schema, Tuple};
+use crate::{AttrSet, LogIndex, Query, QueryId, Schema, Tuple};
 
 /// An immutable collection of conjunctive queries over a shared [`Schema`].
 ///
@@ -19,11 +19,19 @@ use crate::{AttrSet, Query, QueryId, Schema, Tuple};
 /// the raw log while being much smaller. Real query logs are dominated by
 /// repeated queries, making this the single most effective preprocessing
 /// step before any SOC algorithm runs.
+/// All counting kernels run on a lazily built inverted bitmap index
+/// ([`LogIndex`]), cached here behind a `OnceLock`. The cache never goes
+/// stale because the log is immutable: every method that produces a
+/// *different* log (`deduplicate`, `filter`, `complement`, …) constructs
+/// a new `QueryLog` value whose cache starts empty, while `Clone` shares
+/// the `Arc`'d index — valid because the clone holds byte-identical
+/// queries and weights.
 #[derive(Clone)]
 pub struct QueryLog {
     schema: Arc<Schema>,
     queries: Vec<Query>,
     weights: Vec<usize>,
+    index: OnceLock<Arc<LogIndex>>,
 }
 
 impl QueryLog {
@@ -41,11 +49,7 @@ impl QueryLog {
     /// # Panics
     /// Panics if lengths differ, any weight is zero, or any query's
     /// universe differs from the schema width.
-    pub fn new_weighted(
-        schema: Arc<Schema>,
-        queries: Vec<Query>,
-        weights: Vec<usize>,
-    ) -> Self {
+    pub fn new_weighted(schema: Arc<Schema>, queries: Vec<Query>, weights: Vec<usize>) -> Self {
         assert_eq!(queries.len(), weights.len(), "one weight per query");
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
         for q in &queries {
@@ -59,6 +63,7 @@ impl QueryLog {
             schema,
             queries,
             weights,
+            index: OnceLock::new(),
         }
     }
 
@@ -66,8 +71,7 @@ impl QueryLog {
     /// computed against the result equal those of the original log.
     #[must_use]
     pub fn deduplicate(&self) -> QueryLog {
-        let mut index: std::collections::HashMap<&Query, usize> =
-            std::collections::HashMap::new();
+        let mut index: std::collections::HashMap<&Query, usize> = std::collections::HashMap::new();
         let mut queries: Vec<Query> = Vec::new();
         let mut weights: Vec<usize> = Vec::new();
         for (q, &w) in self.queries.iter().zip(&self.weights) {
@@ -84,6 +88,7 @@ impl QueryLog {
             schema: Arc::clone(&self.schema),
             queries,
             weights,
+            index: OnceLock::new(),
         }
     }
 
@@ -162,10 +167,27 @@ impl QueryLog {
             .map(|(i, q)| (QueryId(i as u32), q))
     }
 
+    /// The lazily built inverted bitmap index over this log. The first
+    /// call pays one `O(S · M/64)` build; afterwards every counting
+    /// kernel runs on bitmap words instead of rescanning queries.
+    pub fn index(&self) -> &LogIndex {
+        self.index.get_or_init(|| Arc::new(LogIndex::build(self)))
+    }
+
     /// The SOC objective: total weight of the queries that retrieve `t`
     /// under conjunctive Boolean semantics (`q ⊆ t`). With unit weights
     /// this is the paper's "number of queries".
+    ///
+    /// Computed on the [`LogIndex`] as `complement_support(¬t)`, since
+    /// `q ⊆ t ⇔ q ∩ ¬t = ∅`.
     pub fn satisfied_count(&self, t: &Tuple) -> usize {
+        self.index().satisfied_count(t)
+    }
+
+    /// Reference implementation of [`QueryLog::satisfied_count`]: a full
+    /// scan with a per-query subset test. Kept as the differential-test
+    /// and benchmark baseline for the index.
+    pub fn satisfied_count_scan(&self, t: &Tuple) -> usize {
         self.queries
             .iter()
             .zip(&self.weights)
@@ -183,8 +205,16 @@ impl QueryLog {
     }
 
     /// Total weight of queries that retrieve `t` under *disjunctive*
-    /// semantics.
+    /// semantics: `total_weight − complement_support(t)` on the index
+    /// (a query shares an attribute with `t` iff it is not disjoint
+    /// from `t`; the empty query matches nothing disjunctively).
     pub fn satisfied_count_disjunctive(&self, t: &Tuple) -> usize {
+        self.index().satisfied_count_disjunctive(t)
+    }
+
+    /// Reference scan implementation of
+    /// [`QueryLog::satisfied_count_disjunctive`].
+    pub fn satisfied_count_disjunctive_scan(&self, t: &Tuple) -> usize {
         self.queries
             .iter()
             .zip(&self.weights)
@@ -217,12 +247,20 @@ impl QueryLog {
             schema: Arc::clone(&self.schema),
             queries,
             weights,
+            index: OnceLock::new(),
         }
     }
 
     /// Per-attribute frequency: `freq[j]` = total weight of queries
     /// specifying attribute `j`. This drives the `ConsumeAttr` greedy.
+    /// Read straight off the [`LogIndex`].
     pub fn attribute_frequencies(&self) -> Vec<usize> {
+        self.index().attribute_frequencies()
+    }
+
+    /// Reference scan implementation of
+    /// [`QueryLog::attribute_frequencies`].
+    pub fn attribute_frequencies_scan(&self) -> Vec<usize> {
         let mut freq = vec![0usize; self.num_attrs()];
         for (q, &w) in self.queries.iter().zip(&self.weights) {
             for a in q.attrs().iter() {
@@ -234,7 +272,15 @@ impl QueryLog {
 
     /// Total weight of queries that specify *every* attribute in `attrs`
     /// (co-occurrence count). Drives the `ConsumeAttrCumul` greedy.
+    ///
+    /// Computed as the weighted popcount of the AND of the operand
+    /// attributes' bitmap rows in the [`LogIndex`].
     pub fn cooccurrence_count(&self, attrs: &AttrSet) -> usize {
+        self.index().cooccurrence_count(attrs)
+    }
+
+    /// Reference scan implementation of [`QueryLog::cooccurrence_count`].
+    pub fn cooccurrence_count_scan(&self, attrs: &AttrSet) -> usize {
         self.queries
             .iter()
             .zip(&self.weights)
@@ -248,7 +294,16 @@ impl QueryLog {
     ///
     /// This identity lets the MFI algorithm mine the dense complement
     /// without ever materializing it (see DESIGN.md).
+    ///
+    /// Computed as `total_weight − weight(OR of the operand rows)` on the
+    /// [`LogIndex`] — implemented as the weighted popcount of the AND of
+    /// the complemented rows, which admits an early exit.
     pub fn complement_support(&self, items: &AttrSet) -> usize {
+        self.index().complement_support(items)
+    }
+
+    /// Reference scan implementation of [`QueryLog::complement_support`].
+    pub fn complement_support_scan(&self, items: &AttrSet) -> usize {
         self.queries
             .iter()
             .zip(&self.weights)
@@ -270,6 +325,7 @@ impl QueryLog {
                 .map(|q| Query::new(q.attrs().complement()))
                 .collect(),
             weights: self.weights.clone(),
+            index: OnceLock::new(),
         }
     }
 
@@ -415,10 +471,8 @@ mod weight_tests {
 
     #[test]
     fn dedup_merges_and_preserves_objectives() {
-        let raw = QueryLog::from_bitstrings(&[
-            "1100", "1100", "0011", "1100", "0011", "1000",
-        ])
-        .unwrap();
+        let raw =
+            QueryLog::from_bitstrings(&["1100", "1100", "0011", "1100", "0011", "1000"]).unwrap();
         let dedup = raw.deduplicate();
         assert_eq!(dedup.len(), 3);
         assert_eq!(dedup.total_weight(), 6);
@@ -433,8 +487,14 @@ mod weight_tests {
         }
         assert_eq!(raw.attribute_frequencies(), dedup.attribute_frequencies());
         let items = AttrSet::from_indices(4, [0, 1]);
-        assert_eq!(raw.complement_support(&items), dedup.complement_support(&items));
-        assert_eq!(raw.cooccurrence_count(&items), dedup.cooccurrence_count(&items));
+        assert_eq!(
+            raw.complement_support(&items),
+            dedup.complement_support(&items)
+        );
+        assert_eq!(
+            raw.cooccurrence_count(&items),
+            dedup.cooccurrence_count(&items)
+        );
     }
 
     #[test]

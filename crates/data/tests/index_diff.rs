@@ -1,0 +1,192 @@
+//! Differential tests for the inverted bitmap index: every indexed
+//! counting kernel must agree *exactly* with the retained naive-scan
+//! implementation on randomized weighted logs — including deduplicated
+//! logs, empty logs, and universes wider than 128 attributes (which
+//! spill the bitset's inline two-word storage) — plus cache-validity
+//! tests for `clone` and `deduplicate`.
+
+use soc_data::{AttrSet, Query, QueryLog, Schema, Tuple};
+use soc_rng::StdRng;
+use std::sync::Arc;
+
+/// A random weighted log: `s` queries over `universe` attributes with
+/// per-attribute density `p`, weights in `1..=max_w`.
+fn random_log(rng: &mut StdRng, universe: usize, s: usize, p: f64, max_w: usize) -> QueryLog {
+    let queries: Vec<Query> = (0..s)
+        .map(|_| {
+            Query::new(AttrSet::from_indices(
+                universe,
+                (0..universe).filter(|_| rng.random_bool(p)),
+            ))
+        })
+        .collect();
+    let weights: Vec<usize> = (0..s).map(|_| rng.random_range(1..=max_w)).collect();
+    QueryLog::new_weighted(Arc::new(Schema::anonymous(universe)), queries, weights)
+}
+
+/// A random attribute subset of the universe.
+fn random_set(rng: &mut StdRng, universe: usize, p: f64) -> AttrSet {
+    AttrSet::from_indices(universe, (0..universe).filter(|_| rng.random_bool(p)))
+}
+
+/// Asserts all four kernels (plus the disjunctive count) agree with
+/// their scan baselines on a batch of random operands.
+fn assert_kernels_match(rng: &mut StdRng, log: &QueryLog, probes: usize) {
+    let universe = log.num_attrs();
+    assert_eq!(
+        log.attribute_frequencies(),
+        log.attribute_frequencies_scan(),
+        "attribute_frequencies (S={}, M={universe})",
+        log.len()
+    );
+    for _ in 0..probes {
+        let p = rng.random_range(0.05..0.9);
+        let items = random_set(rng, universe, p);
+        let t = Tuple::new(random_set(rng, universe, p));
+        assert_eq!(
+            log.satisfied_count(&t),
+            log.satisfied_count_scan(&t),
+            "satisfied_count (S={}, M={universe}, t={t:?})",
+            log.len()
+        );
+        assert_eq!(
+            log.satisfied_count_disjunctive(&t),
+            log.satisfied_count_disjunctive_scan(&t),
+            "satisfied_count_disjunctive (S={}, M={universe}, t={t:?})",
+            log.len()
+        );
+        assert_eq!(
+            log.cooccurrence_count(&items),
+            log.cooccurrence_count_scan(&items),
+            "cooccurrence_count (S={}, M={universe}, items={items})",
+            log.len()
+        );
+        assert_eq!(
+            log.complement_support(&items),
+            log.complement_support_scan(&items),
+            "complement_support (S={}, M={universe}, items={items})",
+            log.len()
+        );
+    }
+}
+
+#[test]
+fn indexed_kernels_match_scans_on_random_weighted_logs() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for trial in 0..40 {
+        let universe = rng.random_range(1..40usize);
+        let s = rng.random_range(0..120usize);
+        let p = rng.random_range(0.05..0.7);
+        let max_w = if trial % 2 == 0 { 1 } else { 9 }; // unit & weighted paths
+        let log = random_log(&mut rng, universe, s, p, max_w);
+        assert_kernels_match(&mut rng, &log, 12);
+    }
+}
+
+#[test]
+fn indexed_kernels_match_scans_on_deduplicated_logs() {
+    let mut rng = StdRng::seed_from_u64(0xDED0);
+    for _ in 0..20 {
+        let universe = rng.random_range(2..10usize);
+        // Few attributes + many queries forces heavy duplication, so
+        // deduplicate() produces genuinely merged weights.
+        let raw = random_log(&mut rng, universe, 200, 0.3, 3);
+        let dedup = raw.deduplicate();
+        assert!(dedup.len() < raw.len(), "expected duplicates to merge");
+        assert_kernels_match(&mut rng, &dedup, 12);
+        // And the two logs agree with each other on every kernel.
+        let t = Tuple::new(random_set(&mut rng, universe, 0.5));
+        let items = random_set(&mut rng, universe, 0.3);
+        assert_eq!(raw.satisfied_count(&t), dedup.satisfied_count(&t));
+        assert_eq!(
+            raw.cooccurrence_count(&items),
+            dedup.cooccurrence_count(&items)
+        );
+        assert_eq!(
+            raw.complement_support(&items),
+            dedup.complement_support(&items)
+        );
+        assert_eq!(raw.attribute_frequencies(), dedup.attribute_frequencies());
+    }
+}
+
+#[test]
+fn indexed_kernels_match_scans_on_empty_logs() {
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for universe in [0usize, 1, 7, 130] {
+        let log = QueryLog::from_attr_sets(universe, Vec::new());
+        assert_kernels_match(&mut rng, &log, 8);
+        assert_eq!(log.satisfied_count(&Tuple::new(AttrSet::full(universe))), 0);
+        assert_eq!(log.complement_support(&AttrSet::empty(universe)), 0);
+    }
+}
+
+#[test]
+fn indexed_kernels_match_scans_beyond_inline_bitset_storage() {
+    // Universes > 128 attributes spill AttrSet's inline two-word storage
+    // onto the heap; the index must be oblivious to that.
+    let mut rng = StdRng::seed_from_u64(0xB16);
+    for universe in [129usize, 200, 320] {
+        let log = random_log(&mut rng, universe, 90, 0.04, 4);
+        assert_kernels_match(&mut rng, &log, 10);
+    }
+}
+
+#[test]
+fn more_queries_than_one_bitmap_word() {
+    // S > 64 exercises multi-word accumulator rows and the tail-masking
+    // of the final word.
+    let mut rng = StdRng::seed_from_u64(0x60D);
+    for s in [64usize, 65, 128, 300] {
+        let log = random_log(&mut rng, 12, s, 0.25, 2);
+        assert_kernels_match(&mut rng, &log, 12);
+    }
+}
+
+#[test]
+fn clone_shares_a_valid_index() {
+    let mut rng = StdRng::seed_from_u64(0xC10E);
+    let log = random_log(&mut rng, 16, 80, 0.3, 3);
+    let t = Tuple::new(random_set(&mut rng, 16, 0.5));
+
+    // Force the original to build and cache its index, then clone.
+    let before = log.satisfied_count(&t);
+    let clone = log.clone();
+    // The clone holds byte-identical queries and weights, so a carried
+    // index is *valid* (never stale): both logs must agree with the
+    // clone's own scan baseline on every kernel.
+    assert_eq!(clone.satisfied_count(&t), before);
+    assert_eq!(clone.satisfied_count(&t), clone.satisfied_count_scan(&t));
+    assert_kernels_match(&mut rng, &clone, 8);
+}
+
+#[test]
+fn deduplicate_does_not_carry_a_stale_index() {
+    let mut rng = StdRng::seed_from_u64(0x57A1E);
+    // Duplicate-heavy raw log; prime its index cache BEFORE deriving.
+    let raw = random_log(&mut rng, 6, 150, 0.35, 2);
+    let t = Tuple::new(random_set(&mut rng, 6, 0.6));
+    let _ = raw.satisfied_count(&t); // cache built over 150 queries
+
+    let dedup = raw.deduplicate();
+    assert!(dedup.len() < raw.len());
+    // A stale (shared) index would count 150 query-id bits against the
+    // dedup'd log's shorter weight vector; the fresh index must agree
+    // with the dedup'd scan baseline exactly.
+    assert_kernels_match(&mut rng, &dedup, 10);
+    assert_eq!(dedup.satisfied_count(&t), raw.satisfied_count(&t));
+}
+
+#[test]
+fn filter_and_complement_do_not_carry_a_stale_index() {
+    let mut rng = StdRng::seed_from_u64(0xF117);
+    let log = random_log(&mut rng, 10, 70, 0.3, 3);
+    let t = Tuple::new(random_set(&mut rng, 10, 0.5));
+    let _ = log.satisfied_count(&t); // prime the cache
+
+    let filtered = log.filter(|q| q.attrs().contains(0));
+    assert_kernels_match(&mut rng, &filtered, 8);
+
+    let complemented = log.complement();
+    assert_kernels_match(&mut rng, &complemented, 8);
+}

@@ -136,16 +136,14 @@ proptest! {
 }
 
 fn range_query(width: usize) -> impl Strategy<Value = RangeQuery> {
-    proptest::collection::vec(
-        proptest::option::of((0.0..50.0f64, 0.0..50.0f64)),
-        width,
+    proptest::collection::vec(proptest::option::of((0.0..50.0f64, 0.0..50.0f64)), width).prop_map(
+        |conds| RangeQuery {
+            conditions: conds
+                .into_iter()
+                .map(|c| c.map(|(a, b)| Range::new(a.min(b), a.max(b))))
+                .collect(),
+        },
     )
-    .prop_map(|conds| RangeQuery {
-        conditions: conds
-            .into_iter()
-            .map(|c| c.map(|(a, b)| Range::new(a.min(b), a.max(b))))
-            .collect(),
-    })
 }
 
 proptest! {

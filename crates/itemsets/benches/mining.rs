@@ -2,13 +2,12 @@
 //! classic miners, and the maximal-itemset random walks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use soc_data::AttrSet;
 use soc_itemsets::{
     apriori, backtracking_mfi, fp_growth, top_down_walk, AprioriLimits, BacktrackLimits,
     SupportCounter, TransactionSet,
 };
+use soc_rng::StdRng;
 use std::hint::black_box;
 
 /// Random sparse transactions: `rows` rows over `m` items, density `p`.
@@ -17,9 +16,7 @@ fn table(rows: usize, m: usize, p: f64, seed: u64) -> TransactionSet {
     TransactionSet::new(
         m,
         (0..rows)
-            .map(|_| {
-                AttrSet::from_indices(m, (0..m).filter(|_| rng.random::<f64>() < p))
-            })
+            .map(|_| AttrSet::from_indices(m, (0..m).filter(|_| rng.random::<f64>() < p)))
             .collect(),
     )
 }

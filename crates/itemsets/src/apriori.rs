@@ -164,7 +164,10 @@ pub fn apriori<S: SupportCounter>(
 pub fn enumerate_frequent<S: SupportCounter>(data: &S, threshold: usize) -> Vec<FrequentItemset> {
     assert!(threshold > 0, "support threshold must be positive");
     let m = data.universe();
-    assert!(m <= 20, "enumerate_frequent is a test oracle for tiny universes");
+    assert!(
+        m <= 20,
+        "enumerate_frequent is a test oracle for tiny universes"
+    );
     let mut out = Vec::new();
     for mask in 0u64..(1 << m) {
         if mask == 0 {
@@ -271,7 +274,9 @@ mod tests {
             },
         );
         match out {
-            AprioriOutcome::CandidateExplosion { level, candidates, .. } => {
+            AprioriOutcome::CandidateExplosion {
+                level, candidates, ..
+            } => {
                 assert_eq!(level, 2);
                 assert!(candidates > 50);
             }

@@ -245,7 +245,11 @@ mod tests {
                 other => panic!("{other:?}"),
             };
             let en = enumerate_frequent(&t, threshold);
-            assert_eq!(canon(fp.clone()), canon(en), "fp vs enum, threshold {threshold}");
+            assert_eq!(
+                canon(fp.clone()),
+                canon(en),
+                "fp vs enum, threshold {threshold}"
+            );
             assert_eq!(canon(fp), canon(ap), "fp vs apriori, threshold {threshold}");
         }
     }

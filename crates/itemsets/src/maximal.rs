@@ -19,9 +19,8 @@
 
 use std::collections::HashMap;
 
-use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
 use soc_data::AttrSet;
+use soc_rng::StdRng;
 
 use crate::{FrequentItemset, SupportCounter};
 
@@ -57,17 +56,17 @@ pub fn is_maximal<S: SupportCounter>(data: &S, itemset: &AttrSet, threshold: usi
 
 /// Up phase shared by both walks: greedily add random items while the set
 /// stays frequent. Terminates at a maximal frequent itemset.
-fn up_phase<S: SupportCounter, R: Rng>(
+fn up_phase<S: SupportCounter>(
     data: &S,
     start: AttrSet,
     threshold: usize,
-    rng: &mut R,
+    rng: &mut StdRng,
     stats: &mut WalkStats,
 ) -> AttrSet {
     let m = data.universe();
     let mut current = start;
     let mut candidates: Vec<usize> = (0..m).filter(|&i| !current.contains(i)).collect();
-    candidates.shuffle(rng);
+    rng.shuffle(&mut candidates);
     // One shuffled pass suffices: if adding `i` keeps the set frequent we
     // take it; if not, no later superset can make `i` frequent again
     // (supports only shrink as the set grows).
@@ -86,10 +85,10 @@ fn up_phase<S: SupportCounter, R: Rng>(
 /// exceeds the row count (nothing, not even the empty itemset, is
 /// frequent). When no *singleton* is frequent the empty itemset is the
 /// unique maximal frequent itemset and is returned.
-pub fn bottom_up_walk<S: SupportCounter, R: Rng>(
+pub fn bottom_up_walk<S: SupportCounter>(
     data: &S,
     threshold: usize,
-    rng: &mut R,
+    rng: &mut StdRng,
 ) -> (Option<AttrSet>, WalkStats) {
     let m = data.universe();
     let mut stats = WalkStats::default();
@@ -97,7 +96,7 @@ pub fn bottom_up_walk<S: SupportCounter, R: Rng>(
         return (None, stats);
     }
     let mut singletons: Vec<usize> = (0..m).collect();
-    singletons.shuffle(rng);
+    rng.shuffle(&mut singletons);
     let start = singletons.into_iter().find(|&i| {
         stats.support_calls += 1;
         data.support(&AttrSet::from_indices(m, [i])) >= threshold
@@ -120,10 +119,10 @@ pub fn bottom_up_walk<S: SupportCounter, R: Rng>(
 ///
 /// Returns `None` when even the empty itemset is infrequent, i.e.
 /// `threshold > num_rows` (nothing can be frequent).
-pub fn top_down_walk<S: SupportCounter, R: Rng>(
+pub fn top_down_walk<S: SupportCounter>(
     data: &S,
     threshold: usize,
-    rng: &mut R,
+    rng: &mut StdRng,
 ) -> (Option<AttrSet>, WalkStats) {
     let m = data.universe();
     let mut stats = WalkStats::default();
@@ -238,7 +237,7 @@ impl MfiMiner {
     }
 
     /// Runs the repeated walk over `data`.
-    pub fn mine<S: SupportCounter, R: Rng>(&self, data: &S, rng: &mut R) -> MfiResult {
+    pub fn mine<S: SupportCounter>(&self, data: &S, rng: &mut StdRng) -> MfiResult {
         let cfg = &self.config;
         let mut seen: HashMap<AttrSet, (usize, usize)> = HashMap::new(); // set -> (support, count)
         let mut stats = WalkStats::default();
@@ -248,8 +247,7 @@ impl MfiMiner {
         while iterations < cfg.max_iterations {
             let should_stop = match cfg.stop {
                 StopRule::SeenTwice => {
-                    iterations >= cfg.min_iterations.max(1)
-                        && seen.values().all(|&(_, c)| c >= 2)
+                    iterations >= cfg.min_iterations.max(1) && seen.values().all(|&(_, c)| c >= 2)
                 }
                 StopRule::FixedIterations(n) => iterations >= n,
             };
@@ -326,8 +324,6 @@ pub fn enumerate_maximal<S: SupportCounter>(data: &S, threshold: usize) -> Vec<F
 mod tests {
     use super::*;
     use crate::TransactionSet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn sample() -> TransactionSet {
         TransactionSet::new(
@@ -387,7 +383,7 @@ mod tests {
             threshold: 2,
             max_iterations: 5_000,
             min_iterations: 1,
-                direction: WalkDirection::TopDown,
+            direction: WalkDirection::TopDown,
             stop: StopRule::SeenTwice,
         });
         let result = miner.mine(&t, &mut rng);

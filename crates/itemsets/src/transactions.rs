@@ -135,8 +135,7 @@ mod tests {
 
     #[test]
     fn virtual_complement_matches_materialized() {
-        let log =
-            QueryLog::from_bitstrings(&["11000", "00110", "10001", "01000"]).unwrap();
+        let log = QueryLog::from_bitstrings(&["11000", "00110", "10001", "01000"]).unwrap();
         let virt = ComplementedLog::new(&log);
         let mat = TransactionSet::complement_of_log(&log);
         assert_eq!(virt.num_rows(), mat.num_rows());

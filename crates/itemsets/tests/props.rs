@@ -3,22 +3,20 @@
 //! exhaustive enumeration on random small transaction tables.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use soc_data::AttrSet;
 use soc_itemsets::{
     apriori, enumerate_maximal, fp_growth, is_maximal, AprioriLimits, AprioriOutcome,
     ComplementedLog, FrequentItemset, MfiConfig, MfiMiner, StopRule, SupportCounter,
     TransactionSet, WalkDirection,
 };
+use soc_rng::StdRng;
 
 const M: usize = 8;
 
 fn table() -> impl Strategy<Value = TransactionSet> {
-    proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 1..14)
-        .prop_map(|rows| {
-            TransactionSet::new(M, rows.iter().map(|r| AttrSet::from_bools(r)).collect())
-        })
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 1..14).prop_map(|rows| {
+        TransactionSet::new(M, rows.iter().map(|r| AttrSet::from_bools(r)).collect())
+    })
 }
 
 fn canon(mut v: Vec<FrequentItemset>) -> Vec<(String, usize)> {

@@ -11,7 +11,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next_f64(&mut self) -> f64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.0 >> 11) as f64 / (1u64 << 53) as f64
     }
 }
@@ -47,7 +50,11 @@ fn knapsack(nvars: usize, seed: u64) -> Model {
         Cmp::Le,
         weights.iter().sum::<f64>() * 0.4,
     );
-    m.add_constraint(LinExpr::sum(xs.iter().copied()), Cmp::Le, (nvars / 2) as f64);
+    m.add_constraint(
+        LinExpr::sum(xs.iter().copied()),
+        Cmp::Le,
+        (nvars / 2) as f64,
+    );
     m
 }
 

@@ -33,7 +33,9 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.bound.partial_cmp(&other.bound).unwrap_or(Ordering::Equal)
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -121,7 +123,9 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<MipSolution, Sol
                     vals[j] = vals[j].round();
                 }
                 if model.is_feasible(&vals, 1e-6)
-                    && incumbent.as_ref().is_none_or(|(best, _)| bound > *best + 1e-9)
+                    && incumbent
+                        .as_ref()
+                        .is_none_or(|(best, _)| bound > *best + 1e-9)
                 {
                     incumbent = Some((to_max(model.objective_value(&vals)), vals));
                 }
@@ -268,11 +272,7 @@ mod tests {
             let y = m.add_binary();
             obj = obj.plus(1.0, y);
             for &j in *q {
-                m.add_constraint(
-                    LinExpr::new().plus(1.0, y).plus(-1.0, x[j]),
-                    Cmp::Le,
-                    0.0,
-                );
+                m.add_constraint(LinExpr::new().plus(1.0, y).plus(-1.0, x[j]), Cmp::Le, 0.0);
             }
             ys.push(y);
         }
@@ -284,7 +284,11 @@ mod tests {
                 ..Default::default()
             })
             .unwrap();
-        assert!((s.objective - 3.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 3.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         // Retained attributes must be {0,1,3}.
         let retained: Vec<usize> = (0..6).filter(|&j| s.values[j] > 0.5).collect();
         assert_eq!(retained, vec![0, 1, 3]);

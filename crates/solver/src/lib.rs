@@ -30,7 +30,7 @@ mod model;
 mod presolve;
 mod simplex;
 
-pub use presolve::{presolve, presolve_stats, PresolveMap, Presolved};
 pub use model::{
     Cmp, LinExpr, LpSolution, LpStatus, MipOptions, MipSolution, Model, Sense, SolveError, VarId,
 };
+pub use presolve::{presolve, presolve_stats, PresolveMap, Presolved};

@@ -173,7 +173,10 @@ impl Model {
     pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
         let mut terms: Vec<(u32, f64)> = Vec::with_capacity(expr.terms.len());
         for (v, c) in expr.terms {
-            assert!(v.index() < self.vars.len(), "constraint uses unknown variable");
+            assert!(
+                v.index() < self.vars.len(),
+                "constraint uses unknown variable"
+            );
             terms.push((v.0, c));
         }
         self.constraints.push(ConstraintDef { terms, cmp, rhs });
@@ -228,11 +231,7 @@ impl Model {
 
     /// Evaluates the objective at a point (used by tests and heuristics).
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(x)
-            .map(|(c, v)| c * v)
-            .sum()
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
     /// Checks primal feasibility of a point within tolerance `eps`
@@ -348,7 +347,10 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "model is infeasible"),
             SolveError::Unbounded => write!(f, "model is unbounded"),
             SolveError::NodeLimitWithoutIncumbent => {
-                write!(f, "node limit reached before any integral solution was found")
+                write!(
+                    f,
+                    "node limit reached before any integral solution was found"
+                )
             }
             SolveError::IterationLimit => write!(f, "simplex iteration limit reached"),
         }

@@ -250,9 +250,10 @@ pub fn presolve(model: &Model) -> Presolved {
 /// `(usize::MAX, usize::MAX)` when presolve proves infeasibility.
 pub fn presolve_stats(model: &Model) -> (usize, usize) {
     match presolve(model) {
-        Presolved::Reduced { reduced, map } => {
-            (map.eliminated(), model.num_constraints() - reduced.num_constraints())
-        }
+        Presolved::Reduced { reduced, map } => (
+            map.eliminated(),
+            model.num_constraints() - reduced.num_constraints(),
+        ),
         Presolved::Infeasible => (usize::MAX, usize::MAX),
     }
 }

@@ -308,7 +308,7 @@ pub(crate) fn solve_model(
                     status: LpStatus::Infeasible,
                     objective: 0.0,
                     values: vec![],
-                })
+                });
             }
         }
     }
@@ -336,11 +336,7 @@ pub(crate) fn solve_model(
         for &(j, a) in &c.terms {
             dense[j as usize] += a;
         }
-        let shift: f64 = dense
-            .iter()
-            .enumerate()
-            .map(|(j, a)| a * lower[j])
-            .sum();
+        let shift: f64 = dense.iter().enumerate().map(|(j, a)| a * lower[j]).sum();
         let (mut dense, mut b, cmp) = match c.cmp {
             Cmp::Le => (dense, c.rhs - shift, Cmp::Le),
             Cmp::Eq => (dense, c.rhs - shift, Cmp::Eq),
@@ -414,7 +410,9 @@ pub(crate) fn solve_model(
     let mut basis = Vec::with_capacity(m);
     let mut in_basis = vec![None; total];
     for i in 0..m {
-        let b = art_col[i].or(slack_col[i]).expect("every row has a basic column");
+        let b = art_col[i]
+            .or(slack_col[i])
+            .expect("every row has a basic column");
         basis.push(b);
         in_basis[b] = Some(i);
     }
@@ -539,7 +537,11 @@ mod tests {
         m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Ge, 4.0);
         let s = m.solve_lp().unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 8.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 8.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.values[0] - 4.0).abs() < 1e-6);
     }
 
@@ -554,10 +556,12 @@ mod tests {
         let s = m.solve_lp().unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         assert!((s.objective - 3.0).abs() < 1e-6);
-        assert!(m.is_feasible(&s.values, 1e-6) || {
-            // LP relaxation ignores integrality; check constraints directly.
-            (s.values[0] + s.values[1] - 3.0).abs() < 1e-6
-        });
+        assert!(
+            m.is_feasible(&s.values, 1e-6) || {
+                // LP relaxation ignores integrality; check constraints directly.
+                (s.values[0] + s.values[1] - 3.0).abs() < 1e-6
+            }
+        );
     }
 
     #[test]
@@ -606,7 +610,11 @@ mod tests {
         m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Ge, 7.0);
         let s = m.solve_lp().unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 7.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 7.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -619,7 +627,11 @@ mod tests {
         m.add_constraint(LinExpr::new().plus(1.0, x).plus(1.0, y), Cmp::Eq, 2.0);
         let s = m.solve_lp().unwrap();
         // Best: x = 2, y = 0 → −2.
-        assert!((s.objective + 2.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective + 2.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -652,6 +664,10 @@ mod tests {
         );
         let s = m.solve_lp().unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 10000.0).abs() < 1e-4, "objective {}", s.objective);
+        assert!(
+            (s.objective - 10000.0).abs() < 1e-4,
+            "objective {}",
+            s.objective
+        );
     }
 }

@@ -16,10 +16,8 @@ struct RandomBip {
 fn random_bip() -> impl Strategy<Value = RandomBip> {
     (2usize..7).prop_flat_map(|nvars| {
         let obj = proptest::collection::vec(-5..10i32, nvars);
-        let cons = proptest::collection::vec(
-            (proptest::collection::vec(-3..6i32, nvars), 0..12i32),
-            0..5,
-        );
+        let cons =
+            proptest::collection::vec((proptest::collection::vec(-3..6i32, nvars), 0..12i32), 0..5);
         (Just(nvars), obj, cons).prop_map(|(nvars, objective, constraints)| RandomBip {
             nvars,
             objective,

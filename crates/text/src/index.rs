@@ -240,8 +240,14 @@ mod tests {
     #[test]
     fn boolean_retrieval_is_conjunctive() {
         let idx = corpus();
-        assert_eq!(idx.boolean_retrieve("near station"), vec![DocId(0), DocId(2)]);
-        assert_eq!(idx.boolean_retrieve("pool garden"), vec![DocId(1), DocId(3)]);
+        assert_eq!(
+            idx.boolean_retrieve("near station"),
+            vec![DocId(0), DocId(2)]
+        );
+        assert_eq!(
+            idx.boolean_retrieve("pool garden"),
+            vec![DocId(1), DocId(3)]
+        );
         assert_eq!(idx.boolean_retrieve("pool station"), Vec::<DocId>::new());
     }
 

@@ -53,8 +53,10 @@ pub fn select_keywords<A: SocAlgorithm + ?Sized>(
         if terms.is_empty() {
             continue;
         }
-        let ids: Option<Vec<usize>> =
-            terms.iter().map(|t| index.get(t.as_str()).copied()).collect();
+        let ids: Option<Vec<usize>> = terms
+            .iter()
+            .map(|t| index.get(t.as_str()).copied())
+            .collect();
         if let Some(ids) = ids {
             queries.push(Query::new(AttrSet::from_indices(universe, ids)));
         }

@@ -82,10 +82,7 @@ pub fn select_keywords_topk(
     let vocab = tokenizer.distinct_terms(ad_text);
     let targets = build_targets(index, query_log, tokenizer, k);
 
-    let full_ad_visible_in = targets
-        .iter()
-        .filter(|t| visible(index, t, &vocab))
-        .count();
+    let full_ad_visible_in = targets.iter().filter(|t| visible(index, t, &vocab)).count();
 
     let mut chosen: Vec<String> = Vec::new();
     let mut best_visible = 0usize;
@@ -148,7 +145,12 @@ mod tests {
     fn selection_matches_reference_evaluation() {
         let idx = index();
         let tok = Tokenizer::default();
-        let log = ["apartment pool", "bedroom parking", "station", "garden view"];
+        let log = [
+            "apartment pool",
+            "bedroom parking",
+            "station",
+            "garden view",
+        ];
         let sel = select_keywords_topk(&idx, &log, AD, 4, 3, &tok);
         // Recompute visibility for the chosen keywords with the public
         // primitives — must agree with the reported count.
@@ -165,7 +167,12 @@ mod tests {
     fn visibility_grows_with_k() {
         let idx = index();
         let tok = Tokenizer::default();
-        let log = ["apartment pool", "bedroom parking", "station", "apartment parking"];
+        let log = [
+            "apartment pool",
+            "bedroom parking",
+            "station",
+            "apartment parking",
+        ];
         let mut last = 0;
         for k in [1, 2, 4, 8] {
             let sel = select_keywords_topk(&idx, &log, AD, 5, k, &tok);

@@ -16,9 +16,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
 use soc_data::{AttrSet, Database, Query, QueryLog, Schema, Tuple};
+use soc_rng::StdRng;
 
 /// The 32 Boolean attributes of the synthetic inventory.
 pub const CAR_ATTRIBUTES: [&str; 32] = [
@@ -190,7 +189,7 @@ pub fn generate_cars(config: &CarsConfig) -> CarsDataset {
     }
 }
 
-fn sample_class<R: Rng>(rng: &mut R) -> CarClass {
+fn sample_class(rng: &mut StdRng) -> CarClass {
     let x: f64 = rng.random();
     let mut acc = 0.0;
     for (c, w) in CLASSES.iter().zip(CLASS_WEIGHTS) {
@@ -280,10 +279,9 @@ pub fn generate_real_workload(config: &RealWorkloadConfig) -> QueryLog {
 /// Selects `n` distinct cars to advertise (the paper averages over 100
 /// randomly selected cars).
 pub fn sample_new_cars(dataset: &CarsDataset, n: usize, seed: u64) -> Vec<Tuple> {
-    use rand::seq::SliceRandom;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ids: Vec<usize> = (0..dataset.db.len()).collect();
-    ids.shuffle(&mut rng);
+    rng.shuffle(&mut ids);
     ids.truncate(n);
     ids.into_iter()
         .map(|i| dataset.db.tuples()[i].clone())
@@ -327,15 +325,14 @@ mod tests {
         // Sport cars should carry sport features far more often than
         // economy cars.
         let rate = |class: CarClass, attr: usize| {
-            let (hits, total) = d
-                .db
-                .tuples()
-                .iter()
-                .zip(&d.classes)
-                .filter(|(_, c)| **c == class)
-                .fold((0usize, 0usize), |(h, t), (tup, _)| {
-                    (h + usize::from(tup.attrs().contains(attr)), t + 1)
-                });
+            let (hits, total) =
+                d.db.tuples()
+                    .iter()
+                    .zip(&d.classes)
+                    .filter(|(_, c)| **c == class)
+                    .fold((0usize, 0usize), |(h, t), (tup, _)| {
+                        (h + usize::from(tup.attrs().contains(attr)), t + 1)
+                    });
             hits as f64 / total.max(1) as f64
         };
         let turbo = 24;

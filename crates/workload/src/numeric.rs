@@ -3,9 +3,8 @@
 //! digital cameras may specify desired ranges on price, weight,
 //! resolution, etc.").
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use soc_data::numeric::{NumTuple, Range, RangeQuery};
+use soc_rng::StdRng;
 
 /// The numeric attributes of the camera catalog.
 pub const CAMERA_ATTRIBUTES: [&str; 5] = ["price", "megapixels", "zoom", "weight", "screen"];

@@ -6,9 +6,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
 use soc_data::{AttrSet, Query, QueryLog, Schema};
+use soc_rng::StdRng;
 
 /// Configuration for the synthetic workload generator.
 #[derive(Clone, Debug)]
@@ -46,7 +45,10 @@ impl Default for SyntheticConfig {
 /// Panics if the length distribution is empty, has non-positive mass, or
 /// allows lengths longer than `num_attrs`.
 pub fn generate_synthetic_workload(config: &SyntheticConfig) -> QueryLog {
-    assert!(!config.len_distribution.is_empty(), "empty length distribution");
+    assert!(
+        !config.len_distribution.is_empty(),
+        "empty length distribution"
+    );
     let mass: f64 = config.len_distribution.iter().sum();
     assert!(mass > 0.0, "length distribution has no mass");
     assert!(
@@ -60,8 +62,7 @@ pub fn generate_synthetic_workload(config: &SyntheticConfig) -> QueryLog {
     // Attribute popularity weights (Zipf over a seeded permutation so the
     // popular attributes are not always the low indices).
     let mut order: Vec<usize> = (0..config.num_attrs).collect();
-    use rand::seq::SliceRandom;
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let weights: Vec<f64> = (0..config.num_attrs)
         .map(|j| {
             let rank = order[j] + 1;
@@ -83,7 +84,7 @@ pub fn generate_synthetic_workload(config: &SyntheticConfig) -> QueryLog {
     QueryLog::new(schema, queries)
 }
 
-fn sample_len<R: Rng>(dist: &[f64], mass: f64, rng: &mut R) -> usize {
+fn sample_len(dist: &[f64], mass: f64, rng: &mut StdRng) -> usize {
     let x: f64 = rng.random::<f64>() * mass;
     let mut acc = 0.0;
     for (i, &p) in dist.iter().enumerate() {
@@ -95,7 +96,7 @@ fn sample_len<R: Rng>(dist: &[f64], mass: f64, rng: &mut R) -> usize {
     dist.len()
 }
 
-fn sample_weighted<R: Rng>(weights: &[f64], total: f64, rng: &mut R) -> usize {
+fn sample_weighted(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
     let x: f64 = rng.random::<f64>() * total;
     let mut acc = 0.0;
     for (i, &w) in weights.iter().enumerate() {
@@ -204,10 +205,9 @@ pub fn split_log(
         fraction > 0.0 && fraction < 1.0,
         "fraction must be strictly between 0 and 1"
     );
-    use rand::seq::SliceRandom;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ids: Vec<usize> = (0..log.len()).collect();
-    ids.shuffle(&mut rng);
+    rng.shuffle(&mut ids);
     let cut = ((log.len() as f64 * fraction).round() as usize).clamp(1, log.len() - 1);
     let history: std::collections::HashSet<usize> = ids[..cut].iter().copied().collect();
     let mut index = 0;

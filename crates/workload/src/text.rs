@@ -1,17 +1,58 @@
 //! Text workload generator: classified-ad texts and keyword queries over
 //! a Zipf-distributed vocabulary (for the §II.B / §V text variant).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use soc_rng::StdRng;
 
 /// Vocabulary of classified-ad terms, ordered roughly by popularity.
 pub const AD_VOCABULARY: [&str; 48] = [
-    "apartment", "bedroom", "bathroom", "parking", "kitchen", "spacious", "renovated",
-    "downtown", "balcony", "pool", "garden", "garage", "furnished", "laundry", "dishwasher",
-    "pets", "gym", "elevator", "heating", "cooling", "hardwood", "carpet", "station", "bus",
-    "school", "quiet", "sunny", "view", "storage", "utilities", "electricity", "water",
-    "internet", "cable", "security", "doorman", "terrace", "fireplace", "studio", "loft",
-    "penthouse", "basement", "yard", "patio", "deck", "sauna", "jacuzzi", "concierge",
+    "apartment",
+    "bedroom",
+    "bathroom",
+    "parking",
+    "kitchen",
+    "spacious",
+    "renovated",
+    "downtown",
+    "balcony",
+    "pool",
+    "garden",
+    "garage",
+    "furnished",
+    "laundry",
+    "dishwasher",
+    "pets",
+    "gym",
+    "elevator",
+    "heating",
+    "cooling",
+    "hardwood",
+    "carpet",
+    "station",
+    "bus",
+    "school",
+    "quiet",
+    "sunny",
+    "view",
+    "storage",
+    "utilities",
+    "electricity",
+    "water",
+    "internet",
+    "cable",
+    "security",
+    "doorman",
+    "terrace",
+    "fireplace",
+    "studio",
+    "loft",
+    "penthouse",
+    "basement",
+    "yard",
+    "patio",
+    "deck",
+    "sauna",
+    "jacuzzi",
+    "concierge",
 ];
 
 /// Configuration of the classified-ads generator.
@@ -58,7 +99,7 @@ fn zipf_weights(n: usize, skew: f64) -> (Vec<f64>, f64) {
     (weights, total)
 }
 
-fn sample_terms<R: Rng>(rng: &mut R, weights: &[f64], total: f64, count: usize) -> Vec<&'static str> {
+fn sample_terms(rng: &mut StdRng, weights: &[f64], total: f64, count: usize) -> Vec<&'static str> {
     let mut out: Vec<&'static str> = Vec::with_capacity(count);
     let mut guard = 0;
     while out.len() < count && guard < 10_000 {

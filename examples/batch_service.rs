@@ -10,7 +10,9 @@
 
 use standout::core::{solve_batch, MfiSolver, SharedMfi, SocAlgorithm, SocInstance};
 use standout::data::{Query, QueryLog};
-use standout::workload::{generate_cars, generate_real_workload, sample_new_cars, CarsConfig, RealWorkloadConfig};
+use standout::workload::{
+    generate_cars, generate_real_workload, sample_new_cars, CarsConfig, RealWorkloadConfig,
+};
 use std::sync::Arc;
 use std::time::Instant;
 

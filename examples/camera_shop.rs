@@ -27,11 +27,7 @@ fn main() {
     for m in 1..=CAMERA_ATTRIBUTES.len() {
         let exact = solve_numeric(&BruteForce, &queries, &camera, m);
         let greedy = solve_numeric(&ConsumeAttrCumul, &queries, &camera, m);
-        let published: Vec<&str> = exact
-            .publish
-            .iter()
-            .map(|i| CAMERA_ATTRIBUTES[i])
-            .collect();
+        let published: Vec<&str> = exact.publish.iter().map(|i| CAMERA_ATTRIBUTES[i]).collect();
         println!(
             "m = {m}: exact {:>3}, greedy {:>3} queries — publish {}",
             exact.satisfied,

@@ -52,7 +52,10 @@ fn main() {
     let exact = mfi.solve_preprocessed(&mut pre, &instance);
     let exact_time = t0.elapsed();
 
-    println!("{:<18} {:>9} {:>12}  features", "algorithm", "satisfied", "time");
+    println!(
+        "{:<18} {:>9} {:>12}  features",
+        "algorithm", "satisfied", "time"
+    );
     let name_of = |i: usize| schema.name(AttrId(i as u32));
     let row = |name: &str, sol: &standout::core::Solution, time: std::time::Duration| {
         let names: Vec<&str> = sol.retained.iter().map(name_of).collect();

@@ -8,8 +8,8 @@
 
 use standout::core::variants::data_variant::solve_soc_cb_d;
 use standout::core::{
-    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch,
-    MfiSolver, SocAlgorithm, SocInstance,
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch, MfiSolver,
+    SocAlgorithm, SocInstance,
 };
 use standout::data::{AttrId, Database, QueryLog, Schema, Tuple};
 use std::sync::Arc;
@@ -52,7 +52,10 @@ fn main() {
         Box::new(LocalSearch::default()),
     ];
 
-    println!("{:<18} {:>9}  retained attributes", "algorithm", "satisfied");
+    println!(
+        "{:<18} {:>9}  retained attributes",
+        "algorithm", "satisfied"
+    );
     for algo in &algorithms {
         let sol = algo.solve(&instance);
         let names: Vec<&str> = sol

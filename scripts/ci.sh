@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: formatting, an offline release build, and the full offline
+# test suite. The workspace has no external dependencies (see DESIGN.md
+# "Dependencies"), so --offline must always succeed; a failure here means
+# someone reintroduced a registry dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "CI OK"

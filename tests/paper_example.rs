@@ -3,8 +3,8 @@
 
 use standout::core::variants::data_variant::solve_soc_cb_d;
 use standout::core::{
-    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, MfiSolver,
-    SocAlgorithm, SocInstance,
+    BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, MfiSolver, SocAlgorithm,
+    SocInstance,
 };
 use standout::data::{Database, QueryId, QueryLog, Tuple};
 

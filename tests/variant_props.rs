@@ -13,24 +13,20 @@ use std::sync::Arc;
 const M: usize = 6;
 
 fn log_strategy() -> impl Strategy<Value = QueryLog> {
-    proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 0..10).prop_map(
-        |rows| {
-            QueryLog::from_attr_sets(M, rows.iter().map(|r| AttrSet::from_bools(r)).collect())
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 0..10).prop_map(|rows| {
+        QueryLog::from_attr_sets(M, rows.iter().map(|r| AttrSet::from_bools(r)).collect())
+    })
 }
 
 fn db_strategy() -> impl Strategy<Value = Database> {
-    proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 1..10).prop_map(
-        |rows| {
-            Database::new(
-                Arc::new(Schema::anonymous(M)),
-                rows.iter()
-                    .map(|r| Tuple::new(AttrSet::from_bools(r)))
-                    .collect(),
-            )
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(any::<bool>(), M), 1..10).prop_map(|rows| {
+        Database::new(
+            Arc::new(Schema::anonymous(M)),
+            rows.iter()
+                .map(|r| Tuple::new(AttrSet::from_bools(r)))
+                .collect(),
+        )
+    })
 }
 
 proptest! {

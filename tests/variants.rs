@@ -89,9 +89,7 @@ fn topk_solution_verified_against_reference_evaluator() {
     let direct = log
         .queries()
         .iter()
-        .filter(|q| {
-            retrieves_in_topk(&dataset.db, &scores, q, &r.solution.tuple(), cand, k, ties)
-        })
+        .filter(|q| retrieves_in_topk(&dataset.db, &scores, q, &r.solution.tuple(), cand, k, ties))
         .count();
     assert_eq!(direct, r.visible_in);
 }
@@ -109,11 +107,21 @@ fn categorical_car_options() {
         values: vec![1, 3, 0, 1, 0], // toyota, white, auto, hybrid, sedan
     };
     let queries = vec![
-        CatQuery { conditions: vec![Some(1), None, None, None, None] },
-        CatQuery { conditions: vec![Some(1), None, Some(0), None, None] },
-        CatQuery { conditions: vec![None, None, None, Some(1), Some(0)] },
-        CatQuery { conditions: vec![Some(0), None, None, None, None] }, // honda ✗
-        CatQuery { conditions: vec![None, Some(3), None, Some(1), None] },
+        CatQuery {
+            conditions: vec![Some(1), None, None, None, None],
+        },
+        CatQuery {
+            conditions: vec![Some(1), None, Some(0), None, None],
+        },
+        CatQuery {
+            conditions: vec![None, None, None, Some(1), Some(0)],
+        },
+        CatQuery {
+            conditions: vec![Some(0), None, None, None, None],
+        }, // honda ✗
+        CatQuery {
+            conditions: vec![None, Some(3), None, Some(1), None],
+        },
     ];
     let exact = solve_categorical(&BruteForce, &schema, &queries, &car, 2);
     let ilp = solve_categorical(&IlpSolver::default(), &schema, &queries, &car, 2);
