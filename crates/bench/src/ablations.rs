@@ -444,7 +444,8 @@ pub fn scan_vs_index(scale: Scale) -> Table {
         let items = soc_data::AttrSet::from_indices(32, [1, 4, 9]);
         let (build, _) = measure(|| log.index());
         let micros = |d: std::time::Duration| d.as_secs_f64() * 1e6 / reps as f64;
-        let kernels: Vec<(&str, Box<dyn Fn() -> usize>, Box<dyn Fn() -> usize>)> = vec![
+        type Kernel<'a> = Box<dyn Fn() -> usize + 'a>;
+        let kernels: Vec<(&str, Kernel, Kernel)> = vec![
             (
                 "satisfied",
                 Box::new(|| log.satisfied_count_scan(t)),

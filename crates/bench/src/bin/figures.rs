@@ -4,13 +4,17 @@
 //!   figures [--quick] [experiment ...]
 //!
 //! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 walk threshold stopping
-//! apriori preprocess gap dedup index miner drift all (default: all)
+//! apriori preprocess gap dedup index miner drift serving all
+//! (default: all)
+//!
+//! `serving` additionally writes the machine-readable
+//! `BENCH_serving.json` into the current directory.
 //!
 //! `--quick` averages over 10 cars and truncates sweeps; the default
 //! (full) scale matches the paper's 100-car averages.
 
 use soc_bench::harness::{Scale, Table};
-use soc_bench::{ablations, figs};
+use soc_bench::{ablations, figs, serving};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +47,7 @@ fn main() {
         ("index", ablations::scan_vs_index),
         ("miner", ablations::miner_comparison),
         ("drift", ablations::log_drift),
+        ("serving", serving::batch_serving),
     ];
 
     let run_all = wanted.contains(&"all");

@@ -11,3 +11,4 @@
 pub mod ablations;
 pub mod figs;
 pub mod harness;
+pub mod serving;

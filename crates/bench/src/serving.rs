@@ -1,0 +1,344 @@
+//! Batch-serving experiment: the deployment shape introduced in PR 2.
+//!
+//! One synthetic workload, a stream of new cars, MaxFreqItemSets as the
+//! exact solver. The experiment crosses the three axes that PR 2 added:
+//!
+//! - **scheduler** — static chunking ([`soc_core::solve_batch_chunked`],
+//!   the PR 1 baseline) vs the work-stealing pool
+//!   ([`soc_core::solve_batch`]);
+//! - **instance** — solving in the full 32-attribute universe vs the
+//!   per-tuple projection ([`soc_core::Projected`]), which shrinks the
+//!   log to contained queries and the universe to `|t|`;
+//! - **mining** — serial vs pool-parallel random-walk mining
+//!   (`MfiSolver::workers`), measured head-on by timing a cold
+//!   [`SharedMfi::prime`] on the full log.
+//!
+//! Besides the TSV table, [`batch_serving`] writes the machine-readable
+//! `BENCH_serving.json` so perf can be tracked across PRs.
+
+use std::time::Duration;
+
+use soc_core::{solve_batch, solve_batch_chunked, MfiSolver, Projected, SharedMfi, Solution};
+
+use crate::figs::synthetic_setup;
+use crate::harness::{measure, Cell, Scale, Table};
+
+/// Attribute budget used throughout the experiment (the paper's default
+/// sweep midpoint).
+pub const SERVING_M: usize = 5;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct ServingResult {
+    /// Configuration label, `scheduler/instance/mining`.
+    pub name: String,
+    /// Mean wall-clock per batch (or per prime) across repetitions.
+    pub mean: Duration,
+    /// Total satisfied weight across the batch — the exactness checksum.
+    /// `None` for mining-only rows, which produce no solutions.
+    pub total_satisfied: Option<usize>,
+}
+
+/// Parameters of a serving run, recorded in the JSON artifact.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingParams {
+    /// Query-log size.
+    pub num_queries: usize,
+    /// Universe width.
+    pub num_attrs: usize,
+    /// Batch size (cars served).
+    pub cars: usize,
+    /// Attribute budget.
+    pub m: usize,
+    /// Worker threads for the pool and for parallel mining.
+    pub threads: usize,
+    /// Repetitions averaged per configuration.
+    pub reps: usize,
+}
+
+/// Worker-thread count: the host parallelism, floored at 2 so the
+/// stealing scheduler and the parallel miner are genuinely exercised
+/// even on single-core CI hosts (where those axes measure pure overhead
+/// and any speedup comes from projection alone).
+fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, std::num::NonZero::get)
+        .max(2)
+}
+
+fn timed_batch(
+    reps: usize,
+    run: impl Fn() -> Vec<Solution>,
+    name: &str,
+    results: &mut Vec<ServingResult>,
+) {
+    let mut total = Duration::ZERO;
+    let mut satisfied = 0;
+    for rep in 0..reps {
+        let (t, batch) = measure(&run);
+        total += t;
+        let sum: usize = batch.iter().map(|s| s.satisfied).sum();
+        if rep == 0 {
+            satisfied = sum;
+        } else {
+            assert_eq!(sum, satisfied, "{name}: objective drifted across reps");
+        }
+    }
+    results.push(ServingResult {
+        name: name.to_string(),
+        mean: total / reps as u32,
+        total_satisfied: Some(satisfied),
+    });
+}
+
+/// Runs every serving configuration and returns the per-config results
+/// plus the parameters used. Shared by the table/JSON front-end below
+/// and by tests.
+pub fn run_serving(scale: Scale) -> (ServingParams, Vec<ServingResult>) {
+    let (num_queries, reps) = match scale {
+        Scale::Quick => (800, 2),
+        Scale::Full => (2_000, 5),
+    };
+    let num_attrs = 32;
+    let (log, cars) = synthetic_setup(scale, num_queries, num_attrs);
+    let threads = pool_threads();
+    let params = ServingParams {
+        num_queries,
+        num_attrs,
+        cars: cars.len(),
+        m: SERVING_M,
+        threads,
+        reps,
+    };
+
+    let serial = MfiSolver::default();
+    let parallel = MfiSolver {
+        workers: threads,
+        ..Default::default()
+    };
+    let mut results = Vec::new();
+
+    // Mining axis, head-on: one cold prime of the shared cache on the
+    // full log, serial vs pool-parallel walks. A fresh cache every rep so
+    // each rep pays the full mine.
+    for (name, solver) in [
+        ("prime/full/serial-mine", serial.clone()),
+        ("prime/full/parallel-mine", parallel.clone()),
+    ] {
+        let mut total = Duration::ZERO;
+        for _ in 0..reps {
+            let shared = SharedMfi::new(solver.clone());
+            let (t, ()) = measure(|| shared.prime(&log));
+            total += t;
+        }
+        results.push(ServingResult {
+            name: name.to_string(),
+            mean: total / reps as u32,
+            total_satisfied: None,
+        });
+    }
+
+    // Scheduler axis on the full universe. A fresh SharedMfi per rep:
+    // the first instance mines cold, the rest hit the cache — the
+    // realistic cost profile of serving a batch against a new log.
+    timed_batch(
+        reps,
+        || {
+            let shared = SharedMfi::new(serial.clone());
+            solve_batch_chunked(&shared, &log, &cars, SERVING_M, threads)
+        },
+        "chunked/full/serial-mine",
+        &mut results,
+    );
+    timed_batch(
+        reps,
+        || {
+            let shared = SharedMfi::new(serial.clone());
+            solve_batch(&shared, &log, &cars, SERVING_M, threads)
+        },
+        "stealing/full/serial-mine",
+        &mut results,
+    );
+    timed_batch(
+        reps,
+        || {
+            let shared = SharedMfi::new(parallel.clone());
+            solve_batch(&shared, &log, &cars, SERVING_M, threads)
+        },
+        "stealing/full/parallel-mine",
+        &mut results,
+    );
+
+    // Instance axis: per-tuple projection. Each instance mines its own
+    // compact log (universe |t| instead of 32, contained queries only),
+    // so there is no cross-tuple cache to share — and none is needed.
+    timed_batch(
+        reps,
+        || solve_batch_chunked(&Projected(serial.clone()), &log, &cars, SERVING_M, threads),
+        "chunked/projected/serial-mine",
+        &mut results,
+    );
+    timed_batch(
+        reps,
+        || solve_batch(&Projected(serial.clone()), &log, &cars, SERVING_M, threads),
+        "stealing/projected/serial-mine",
+        &mut results,
+    );
+
+    (params, results)
+}
+
+/// The `figures serving` experiment: runs [`run_serving`], writes
+/// `BENCH_serving.json` into the current directory, and returns the
+/// human-readable table.
+pub fn batch_serving(scale: Scale) -> Table {
+    let (params, results) = run_serving(scale);
+    let baseline = results
+        .iter()
+        .find(|r| r.name == "chunked/full/serial-mine")
+        .expect("baseline config always runs")
+        .mean;
+
+    let mut table = Table::new(
+        "Batch serving — scheduler × instance × mining (MaxFreqItemSets)",
+        "config",
+        vec![
+            "mean ms".into(),
+            "speedup vs PR1 baseline".into(),
+            "total satisfied".into(),
+        ],
+    );
+    for r in &results {
+        table.push_row(
+            r.name.clone(),
+            vec![
+                Cell::Time(r.mean),
+                Cell::Value(baseline.as_secs_f64() / r.mean.as_secs_f64().max(1e-12)),
+                r.total_satisfied
+                    .map_or(Cell::Missing, |s| Cell::Value(s as f64)),
+            ],
+        );
+    }
+    table.note(format!(
+        "{} queries × {} attributes, batch of {} cars, m = {}, {} threads, {} reps; \
+         baseline = chunked/full/serial-mine (the PR 1 static path); prime rows time \
+         mining only",
+        params.num_queries, params.num_attrs, params.cars, params.m, params.threads, params.reps
+    ));
+    table.note(
+        "totals are asserted stable across reps per config; full-universe and \
+         projected totals can differ when the walk's iteration budget misses \
+         maximal itemsets in the wide universe — projection shrinks the search \
+         space and improves recall at the same budget",
+    );
+
+    let json = serving_json(&params, &results, scale);
+    match std::fs::write("BENCH_serving.json", &json) {
+        Ok(()) => table.note("wrote BENCH_serving.json"),
+        Err(e) => table.note(format!("could not write BENCH_serving.json: {e}")),
+    }
+    table
+}
+
+/// Renders the machine-readable artifact. Hand-rolled JSON — the
+/// workspace has no serialization dependency (see DESIGN.md
+/// "Dependencies") and the schema is flat.
+pub fn serving_json(params: &ServingParams, results: &[ServingResult], scale: Scale) -> String {
+    let baseline = results
+        .iter()
+        .find(|r| r.name == "chunked/full/serial-mine")
+        .map_or(Duration::ZERO, |r| r.mean);
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"batch_serving\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!("  \"num_queries\": {},\n", params.num_queries));
+    out.push_str(&format!("  \"num_attrs\": {},\n", params.num_attrs));
+    out.push_str(&format!("  \"cars\": {},\n", params.cars));
+    out.push_str(&format!("  \"m\": {},\n", params.m));
+    out.push_str(&format!("  \"threads\": {},\n", params.threads));
+    out.push_str(&format!("  \"reps\": {},\n", params.reps));
+    out.push_str("  \"baseline\": \"chunked/full/serial-mine\",\n");
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let ms = r.mean.as_secs_f64() * 1e3;
+        let speedup = baseline.as_secs_f64() / r.mean.as_secs_f64().max(1e-12);
+        let satisfied = r
+            .total_satisfied
+            .map_or("null".to_string(), |s| s.to_string());
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ms\": {ms:.3}, \
+             \"speedup_vs_baseline\": {speedup:.3}, \"total_satisfied\": {satisfied}}}{}\n",
+            r.name,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_flat() {
+        let params = ServingParams {
+            num_queries: 10,
+            num_attrs: 6,
+            cars: 2,
+            m: 3,
+            threads: 4,
+            reps: 1,
+        };
+        let results = vec![
+            ServingResult {
+                name: "chunked/full/serial-mine".into(),
+                mean: Duration::from_millis(20),
+                total_satisfied: Some(7),
+            },
+            ServingResult {
+                name: "prime/full/serial-mine".into(),
+                mean: Duration::from_millis(10),
+                total_satisfied: None,
+            },
+        ];
+        let json = serving_json(&params, &results, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"batch_serving\""));
+        assert!(json.contains("\"mean_ms\": 20.000"));
+        assert!(json.contains("\"speedup_vs_baseline\": 2.000"));
+        assert!(json.contains("\"total_satisfied\": null"));
+        assert!(json.contains("\"total_satisfied\": 7"));
+        // Balanced braces/brackets — enough of a well-formedness check
+        // for a schema with no nested strings.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.trim_end().ends_with('}'));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn all_batch_configs_agree_on_the_objective() {
+        // Tiny end-to-end run: every batch configuration must report the
+        // same total satisfied weight (MaxFreqItemSets is exact, and
+        // projection preserves the objective).
+        let (log, cars) = synthetic_setup(Scale::Quick, 120, 16);
+        let cars = &cars[..3.min(cars.len())];
+        let serial = MfiSolver::default();
+        let shared = SharedMfi::new(serial.clone());
+        let full: usize = solve_batch(&shared, &log, cars, 4, 2)
+            .iter()
+            .map(|s| s.satisfied)
+            .sum();
+        let projected: usize = solve_batch(&Projected(serial.clone()), &log, cars, 4, 2)
+            .iter()
+            .map(|s| s.satisfied)
+            .sum();
+        let chunked: usize = solve_batch_chunked(&Projected(serial), &log, cars, 4, 2)
+            .iter()
+            .map(|s| s.satisfied)
+            .sum();
+        assert_eq!(full, projected);
+        assert_eq!(projected, chunked);
+    }
+}

@@ -5,7 +5,7 @@
 //! path is unit-testable; `src/main.rs` is a thin binary shim.
 //!
 //! ```text
-//! soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup]
+//! soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N]
 //! soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
 //! soc per-attr --log FILE --tuple BITS [--algo NAME]
 //! soc stats    --log FILE
@@ -23,7 +23,7 @@ use soc_core::variants::data_variant::solve_soc_cb_d;
 use soc_core::variants::per_attribute::solve_per_attribute;
 use soc_core::{
     BruteForce, ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, IlpSolver, LocalSearch, MfiSolver,
-    SocAlgorithm, SocInstance,
+    Projected, SocAlgorithm, SocInstance,
 };
 use soc_data::{io as socio, AttrId, QueryLog, Schema, Tuple};
 use soc_workload::{
@@ -65,13 +65,15 @@ fn runtime(message: impl Into<String>) -> CliError {
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
 usage:
-  soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup]
+  soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N]
   soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
   soc per-attr --log FILE --tuple BITS [--algo NAME]
   soc stats    --log FILE
   soc generate real|synthetic|cars [--queries N] [--attrs M] [--cars N] [--seed S]
 
-algorithms: brute ilp mfi mfi-det attr cumul queries local (default: mfi)";
+algorithms: brute ilp mfi mfi-det attr cumul queries local (default: mfi)
+--project solves on the tuple-projected instance; --workers N mines MFIs
+with N threads (mfi only)";
 
 /// Abstraction over the filesystem so tests can inject content.
 pub trait FileSource {
@@ -151,10 +153,25 @@ fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
 }
 
 fn algorithm(name: &str) -> Result<Box<dyn SocAlgorithm>, CliError> {
+    algorithm_with_workers(name, 1)
+}
+
+fn algorithm_with_workers(name: &str, workers: usize) -> Result<Box<dyn SocAlgorithm>, CliError> {
+    if workers == 0 {
+        return Err(usage("--workers must be at least 1"));
+    }
+    if workers > 1 && name != "mfi" {
+        return Err(usage(format!(
+            "--workers only applies to the mfi algorithm, not {name:?}"
+        )));
+    }
     Ok(match name {
         "brute" => Box::new(BruteForce),
         "ilp" => Box::new(IlpSolver::default()),
-        "mfi" => Box::new(MfiSolver::default()),
+        "mfi" => Box::new(MfiSolver {
+            workers,
+            ..Default::default()
+        }),
         "mfi-det" => Box::new(MfiSolver::deterministic()),
         "attr" => Box::new(ConsumeAttr),
         "cumul" => Box::new(ConsumeAttrCumul),
@@ -212,15 +229,25 @@ fn cmd_solve(rest: &[String], files: &dyn FileSource) -> Result<String, CliError
     let mut log = load_log(&mut args, files)?;
     let tuple_bits = args.required("--tuple")?;
     let m = parse_usize(args.required("-m")?, "-m")?;
-    let algo = algorithm(args.value("--algo")?.unwrap_or("mfi"))?;
+    let workers = args
+        .value("--workers")?
+        .map(|s| parse_usize(s, "--workers"))
+        .transpose()?
+        .unwrap_or(1);
+    let algo = algorithm_with_workers(args.value("--algo")?.unwrap_or("mfi"), workers)?;
     if args.flag("--dedup") {
         log = log.deduplicate();
     }
+    let project = args.flag("--project");
     args.finish()?;
 
     let tuple = parse_tuple(tuple_bits, log.schema())?;
     let inst = SocInstance::new(&log, &tuple, m);
-    let sol = algo.solve(&inst);
+    let sol = if project {
+        Projected(algo.as_ref()).solve(&inst)
+    } else {
+        algo.solve(&inst)
+    };
     Ok(format!(
         "algorithm: {}\nretained:  {}\nbits:      {}\nsatisfied: {} of {} (weight)\n",
         algo.name(),
@@ -426,6 +453,73 @@ attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
             "solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--dedup",
         ]);
         assert!(out.contains("satisfied: 3 of 5"));
+    }
+
+    #[test]
+    fn solve_with_projection_matches_direct() {
+        for algo in ["brute", "ilp", "mfi", "attr", "cumul"] {
+            let out = run_ok(&[
+                "solve",
+                "--log",
+                "log.txt",
+                "--tuple",
+                "110111",
+                "-m",
+                "3",
+                "--algo",
+                algo,
+                "--project",
+            ]);
+            assert!(out.contains("satisfied: 3 of 5"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn solve_with_parallel_mining() {
+        let out = run_ok(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--algo",
+            "mfi",
+            "--workers",
+            "3",
+        ]);
+        assert!(out.contains("satisfied: 3 of 5"), "{out}");
+    }
+
+    #[test]
+    fn workers_flag_is_mfi_only() {
+        let err = run_err(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--algo",
+            "brute",
+            "--workers",
+            "2",
+        ]);
+        assert_eq!(err.code, 2);
+        let err = run_err(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--workers",
+            "0",
+        ]);
+        assert_eq!(err.code, 2);
     }
 
     #[test]

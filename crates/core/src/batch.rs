@@ -4,11 +4,19 @@
 //! paper's experiments take (averages over 100 randomly selected cars).
 
 use soc_data::{QueryLog, Tuple};
+use soc_pool::Pool;
 
 use crate::{SocAlgorithm, SocInstance, Solution};
 
-/// Solves one instance per tuple, in parallel over `threads` scoped
-/// worker threads (input order is preserved in the output).
+/// Solves one instance per tuple across a work-stealing pool (input
+/// order is preserved in the output).
+///
+/// Each instance is one stealable task, so workers that draw cheap
+/// tuples move on to the backlog instead of idling behind a straggler —
+/// per-instance cost varies by orders of magnitude across tuples (and
+/// algorithms), which starves the static split of
+/// [`solve_batch_chunked`]. The result is identical to the sequential
+/// solve in every slot; only the schedule differs.
 ///
 /// Algorithms are shared immutably across threads; use
 /// [`crate::SharedMfi`] to share the MFI preprocessing cache as well.
@@ -16,6 +24,33 @@ use crate::{SocAlgorithm, SocInstance, Solution};
 /// # Panics
 /// Panics if `threads == 0`.
 pub fn solve_batch<A>(
+    algorithm: &A,
+    log: &QueryLog,
+    tuples: &[Tuple],
+    m: usize,
+    threads: usize,
+) -> Vec<Solution>
+where
+    A: SocAlgorithm + Sync + ?Sized,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if tuples.is_empty() {
+        return Vec::new();
+    }
+    let pool = Pool::new(threads.min(tuples.len()));
+    pool.map(tuples, |tuple| {
+        algorithm.solve(&SocInstance::new(log, tuple, m))
+    })
+}
+
+/// The pre-PR-2 static path: split the batch into `threads` contiguous
+/// chunks, one scoped thread each. Kept as the differential baseline for
+/// [`solve_batch`] tests and the `batch_serving` bench — stragglers
+/// dominate its wall-clock on skewed workloads.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn solve_batch_chunked<A>(
     algorithm: &A,
     log: &QueryLog,
     tuples: &[Tuple],
@@ -53,7 +88,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BruteForce, ConsumeAttr, MfiSolver, SharedMfi};
+    use crate::{BruteForce, ConsumeAttr, LocalSearch, MfiSolver, SharedMfi};
     use soc_data::{AttrSet, QueryLog};
 
     fn setup() -> (QueryLog, Vec<Tuple>) {
@@ -86,6 +121,79 @@ mod tests {
     }
 
     #[test]
+    fn stealing_result_order_matches_sequential_order() {
+        // Deterministic solutions (BruteForce) let us compare retained
+        // sets slot by slot, proving every result landed in the slot of
+        // the tuple that produced it regardless of who stole what.
+        let (log, tuples) = setup();
+        let sequential: Vec<Solution> = tuples
+            .iter()
+            .map(|t| BruteForce.solve(&SocInstance::new(&log, t, 3)))
+            .collect();
+        for threads in [2, 4, 7] {
+            let batch = solve_batch(&BruteForce, &log, &tuples, 3, threads);
+            for (i, (got, want)) in batch.iter().zip(&sequential).enumerate() {
+                assert_eq!(got.retained, want.retained, "slot {i}, threads {threads}");
+                assert_eq!(got.satisfied, want.satisfied);
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tuples() {
+        let (log, tuples) = setup();
+        let few = &tuples[..3];
+        let batch = solve_batch(&BruteForce, &log, few, 3, 32);
+        assert_eq!(batch.len(), 3);
+        for (tuple, sol) in few.iter().zip(&batch) {
+            let seq = BruteForce.solve(&SocInstance::new(&log, tuple, 3));
+            assert_eq!(sol.retained, seq.retained);
+        }
+    }
+
+    #[test]
+    fn skewed_cost_workload_stays_correct_and_ordered() {
+        // First tuples are wide (expensive LocalSearch instances), the
+        // tail is cheap — the shape that straggles under static chunking
+        // because one chunk holds all the expensive work.
+        let log = QueryLog::from_bitstrings(&[
+            "11000000000000",
+            "00110000000000",
+            "00001100000000",
+            "00000011000000",
+            "00000000110000",
+            "00000000001100",
+            "10000000000010",
+            "01000000000001",
+        ])
+        .unwrap();
+        let mut tuples = vec![Tuple::new(AttrSet::full(14)); 4];
+        tuples.extend((0..20).map(|i| Tuple::new(AttrSet::from_indices(14, [i % 14]))));
+        let algo = LocalSearch::default();
+        let stealing = solve_batch(&algo, &log, &tuples, 5, 4);
+        let chunked = solve_batch_chunked(&algo, &log, &tuples, 5, 4);
+        assert_eq!(stealing.len(), chunked.len());
+        for (i, (a, b)) in stealing.iter().zip(&chunked).enumerate() {
+            assert_eq!(a.retained, b.retained, "slot {i}");
+            assert_eq!(a.satisfied, b.satisfied, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_and_stealing_agree() {
+        let (log, tuples) = setup();
+        for threads in [1, 3, 8] {
+            let a = solve_batch(&BruteForce, &log, &tuples, 2, threads);
+            let b = solve_batch_chunked(&BruteForce, &log, &tuples, 2, threads);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.retained, y.retained);
+                assert_eq!(x.satisfied, y.satisfied);
+            }
+        }
+    }
+
+    #[test]
     fn shared_mfi_cache_is_safe_and_exact() {
         let (log, tuples) = setup();
         let shared = SharedMfi::new(MfiSolver::default());
@@ -111,6 +219,7 @@ mod tests {
     fn empty_input() {
         let (log, _) = setup();
         assert!(solve_batch(&BruteForce, &log, &[], 3, 4).is_empty());
+        assert!(solve_batch_chunked(&BruteForce, &log, &[], 3, 4).is_empty());
     }
 
     #[test]
@@ -118,5 +227,12 @@ mod tests {
     fn zero_threads_panics() {
         let (log, tuples) = setup();
         let _ = solve_batch(&BruteForce, &log, &tuples, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn chunked_zero_threads_panics() {
+        let (log, tuples) = setup();
+        let _ = solve_batch_chunked(&BruteForce, &log, &tuples, 3, 0);
     }
 }

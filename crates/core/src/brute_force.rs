@@ -19,18 +19,17 @@ impl SocAlgorithm for BruteForce {
     }
 
     fn solve(&self, instance: &SocInstance<'_>) -> Solution {
-        let mut best: Option<Solution> = None;
+        let mut best: Option<(soc_data::AttrSet, usize)> = None;
         for candidate in instance.tuple.compressions(instance.m) {
             let satisfied = instance.log.satisfied_count(&candidate);
-            let better = best.as_ref().is_none_or(|b| satisfied > b.satisfied);
+            let better = best.as_ref().is_none_or(|&(_, b)| satisfied > b);
             if better {
-                best = Some(Solution {
-                    retained: candidate.into_attrs(),
-                    satisfied,
-                });
+                best = Some((candidate.into_attrs(), satisfied));
             }
         }
-        best.expect("compressions() always yields at least one candidate")
+        let (retained, satisfied) =
+            best.expect("compressions() always yields at least one candidate");
+        instance.solution_with_known_objective(retained, satisfied)
     }
 }
 

@@ -143,7 +143,10 @@ impl SocAlgorithm for IlpSolver {
         let m_attrs = instance.log.num_attrs();
         let retained =
             soc_data::AttrSet::from_indices(m_attrs, (0..m_attrs).filter(|&j| mip.values[j] > 0.5));
-        instance.solution(retained)
+        // At the optimum every y_i is at its upper bound, so the MIP
+        // objective already is the satisfied-weight count; rounding
+        // absorbs solver epsilon (integral_objective is forced on).
+        instance.solution_with_known_objective(retained, mip.objective.round() as usize)
     }
 }
 

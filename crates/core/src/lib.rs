@@ -44,12 +44,14 @@ mod ilp;
 mod local_search;
 mod mfi;
 mod problem;
+mod reduce;
 pub mod variants;
 
-pub use batch::solve_batch;
+pub use batch::{solve_batch, solve_batch_chunked};
 pub use brute_force::BruteForce;
 pub use greedy::{ConsumeAttr, ConsumeAttrCumul, ConsumeQueries};
 pub use ilp::IlpSolver;
 pub use local_search::LocalSearch;
 pub use mfi::{MfiPreprocessed, MfiSolver, MinerKind, SharedMfi};
 pub use problem::{SocAlgorithm, SocInstance, Solution};
+pub use reduce::{Projected, ReducedInstance};

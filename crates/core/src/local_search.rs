@@ -51,10 +51,7 @@ impl LocalSearch {
                 break;
             }
         }
-        Solution {
-            retained,
-            satisfied: best,
-        }
+        instance.solution_with_known_objective(retained, best)
     }
 }
 

@@ -58,6 +58,12 @@ pub struct MfiSolver {
     pub min_iterations: usize,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
+    /// Worker threads for random-walk mining. `1` (the default) runs the
+    /// classic serial miner; larger values fan the walks out over a
+    /// [`soc_pool::Pool`] with per-worker RNG streams — still
+    /// deterministic, given `(seed, workers)`. Ignored by the
+    /// backtracking miner.
+    pub workers: usize,
 }
 
 impl Default for MfiSolver {
@@ -70,6 +76,7 @@ impl Default for MfiSolver {
             max_iterations: 5_000,
             min_iterations: 64,
             seed: 0x5eed_50c0,
+            workers: 1,
         }
     }
 }
@@ -117,8 +124,14 @@ impl MfiSolver {
                     direction: self.direction,
                     stop: self.stop,
                 });
-                let mut rng = StdRng::seed_from_u64(self.seed ^ threshold as u64);
-                miner.mine(&oracle, &mut rng).itemsets
+                let mine_seed = self.seed ^ threshold as u64;
+                if self.workers > 1 {
+                    let pool = soc_pool::Pool::new(self.workers);
+                    miner.mine_parallel(&oracle, mine_seed, &pool).itemsets
+                } else {
+                    let mut rng = StdRng::seed_from_u64(mine_seed);
+                    miner.mine(&oracle, &mut rng).itemsets
+                }
             }
             MinerKind::Backtracking => {
                 backtracking_mfi(&oracle, threshold, &BacktrackLimits::default())
@@ -170,12 +183,7 @@ impl MfiSolver {
             }
         }
         best.map(|(itemset, freq)| {
-            let retained = itemset.complement();
-            debug_assert_eq!(instance.objective(&retained), freq);
-            Solution {
-                retained,
-                satisfied: freq,
-            }
+            instance.solution_with_known_objective(itemset.complement(), freq)
         })
     }
 
@@ -242,10 +250,24 @@ impl SharedMfi {
     /// Pre-mines the cache for the thresholds the adaptive strategy will
     /// visit first (call before spawning workers to avoid a thundering
     /// herd on the first solve).
+    ///
+    /// Mining happens *outside* the write lock — the lock is taken only
+    /// to install the finished result, so concurrent readers (cached
+    /// solves on other threads) never stall behind a mining run.
     pub fn prime(&self, log: &QueryLog) {
         let r = self.solver.threshold.initial(log.len().max(1));
+        let cached = self
+            .cache
+            .read()
+            .expect("cache lock poisoned")
+            .get(r)
+            .is_some();
+        if cached {
+            return;
+        }
+        let mined = self.solver.mine(log, r);
         let mut cache = self.cache.write().expect("cache lock poisoned");
-        self.solver.preprocess(&mut cache, log, r);
+        cache.by_threshold.entry(r).or_insert(mined);
     }
 
     /// Number of thresholds currently cached.
@@ -413,6 +435,153 @@ mod tests {
         let sol = MfiSolver::default().solve(&inst);
         assert_eq!(sol.satisfied, 0);
         assert!(sol.retained.count() <= 1);
+    }
+}
+
+#[cfg(test)]
+mod parallel_mining_tests {
+    use super::*;
+    use crate::BruteForce;
+    use soc_data::Tuple;
+
+    fn workload(seed: u64, num_queries: usize, m_attrs: usize) -> QueryLog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sets = Vec::with_capacity(num_queries);
+        for _ in 0..num_queries {
+            let len = rng.random_range(1..=3usize);
+            let mut attrs = AttrSet::empty(m_attrs);
+            while attrs.count() < len {
+                attrs.insert(rng.random_range(0..m_attrs));
+            }
+            sets.push(attrs);
+        }
+        QueryLog::from_attr_sets(m_attrs, sets)
+    }
+
+    #[test]
+    fn parallel_solver_objective_matches_serial_and_brute_force() {
+        let log = workload(5, 24, 9);
+        let generous = |workers| MfiSolver {
+            stop: soc_itemsets::StopRule::FixedIterations(1500),
+            max_iterations: 2000,
+            workers,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..4 {
+            let t = Tuple::new(AttrSet::from_indices(9, (0..9).filter(|_| rng.random())));
+            for m in [1, 3, 5] {
+                let inst = SocInstance::new(&log, &t, m);
+                let want = BruteForce.solve(&inst).satisfied;
+                let serial = generous(1).solve(&inst);
+                let parallel = generous(4).solve(&inst);
+                assert_eq!(serial.satisfied, want, "serial missed the optimum, m {m}");
+                assert_eq!(
+                    parallel.satisfied, want,
+                    "parallel missed the optimum, m {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solver_is_deterministic_given_workers() {
+        let log = workload(9, 30, 10);
+        let t = Tuple::from_bitstring("1101101101").unwrap();
+        let inst = SocInstance::new(&log, &t, 4);
+        for workers in [2, 4] {
+            let solver = MfiSolver {
+                workers,
+                ..Default::default()
+            };
+            let a = solver.solve(&inst);
+            let b = solver.solve(&inst);
+            assert_eq!(a.retained, b.retained, "workers {workers}");
+            assert_eq!(a.satisfied, b.satisfied);
+        }
+    }
+
+    #[test]
+    fn shared_mfi_honors_parallel_mining() {
+        let log = workload(13, 20, 8);
+        let t = Tuple::from_bitstring("11011011").unwrap();
+        let inst = SocInstance::new(&log, &t, 3);
+        let shared = SharedMfi::new(MfiSolver {
+            workers: 3,
+            ..Default::default()
+        });
+        shared.prime(&log);
+        assert!(shared.cached_thresholds() >= 1);
+        let sol = shared.solve(&inst);
+        let direct = MfiSolver {
+            workers: 3,
+            ..Default::default()
+        }
+        .solve(&inst);
+        assert_eq!(sol.retained, direct.retained);
+        assert_eq!(sol.satisfied, direct.satisfied);
+    }
+}
+
+#[cfg(test)]
+mod prime_contention_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    /// Regression test for the `prime` cache-miss path: mining must run
+    /// outside the write lock, so readers observe only brief lock holds
+    /// while a miss is being mined on another thread.
+    #[test]
+    fn readers_do_not_stall_behind_prime() {
+        // A workload whose mining run takes long enough to measure: many
+        // rows over a wide universe, so each walk pays real support work.
+        let mut rng = StdRng::seed_from_u64(0xC0_11EC);
+        let m_attrs = 26;
+        let mut sets = Vec::new();
+        for _ in 0..3000 {
+            let len = rng.random_range(2..=4usize);
+            let mut attrs = AttrSet::empty(m_attrs);
+            while attrs.count() < len {
+                attrs.insert(rng.random_range(0..m_attrs));
+            }
+            sets.push(attrs);
+        }
+        let log = QueryLog::from_attr_sets(m_attrs, sets);
+        let solver = MfiSolver::default();
+        let r = solver.threshold.initial(log.len());
+
+        // Calibrate: how long does one mining run take here? Too fast and
+        // the test cannot discriminate a stall — skip rather than flake.
+        let start = Instant::now();
+        let _ = solver.mine(&log, r);
+        let mining_time = start.elapsed();
+        if mining_time < Duration::from_millis(50) {
+            eprintln!("mining too fast to measure contention ({mining_time:?}); skipping");
+            return;
+        }
+
+        let shared = SharedMfi::new(solver);
+        let done = AtomicBool::new(false);
+        let max_read_wait = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                shared.prime(&log);
+                done.store(true, Ordering::Release);
+            });
+            let mut worst = Duration::ZERO;
+            while !done.load(Ordering::Acquire) {
+                let begin = Instant::now();
+                let _ = shared.cached_thresholds(); // takes the read lock
+                worst = worst.max(begin.elapsed());
+                std::thread::yield_now();
+            }
+            worst
+        });
+        assert!(
+            max_read_wait < mining_time / 2,
+            "a reader stalled {max_read_wait:?} behind a {mining_time:?} mining run — \
+             prime is mining inside the write lock again"
+        );
     }
 }
 

@@ -63,6 +63,37 @@ impl<'a> SocInstance<'a> {
             satisfied,
         }
     }
+
+    /// Wraps a retained set whose objective the caller *already computed*
+    /// into a checked [`Solution`], skipping the recount that
+    /// [`SocInstance::solution`] pays. Exact solvers (ILP, MFI, brute
+    /// force) and the projection wrapper all finish with the objective in
+    /// hand; recounting it doubled the per-solve counting work.
+    ///
+    /// # Panics
+    /// Panics if `retained` is not a subset of the tuple or exceeds the
+    /// budget. Debug builds additionally recount and assert the claimed
+    /// objective — differential tests run in debug, so a solver that
+    /// miscounts cannot slip through.
+    pub fn solution_with_known_objective(&self, retained: AttrSet, satisfied: usize) -> Solution {
+        assert!(
+            retained.is_subset(self.tuple.attrs()),
+            "solution retains attributes the tuple does not have"
+        );
+        assert!(
+            retained.count() <= self.m,
+            "solution exceeds the attribute budget"
+        );
+        debug_assert_eq!(
+            self.objective(&retained),
+            satisfied,
+            "claimed objective does not match a recount for {retained}"
+        );
+        Solution {
+            retained,
+            satisfied,
+        }
+    }
 }
 
 impl fmt::Debug for SocInstance<'_> {
@@ -113,6 +144,20 @@ pub trait SocAlgorithm {
 
     /// Solves the instance.
     fn solve(&self, instance: &SocInstance<'_>) -> Solution;
+}
+
+impl<A: SocAlgorithm + ?Sized> SocAlgorithm for &A {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn is_exact(&self) -> bool {
+        (**self).is_exact()
+    }
+
+    fn solve(&self, instance: &SocInstance<'_>) -> Solution {
+        (**self).solve(instance)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Instance projection: solve SOC-CB-QL on the compact universe of the
+//! tuple's own attributes and map the answer back.
+//!
+//! [`QueryLog::project_onto`] keeps only queries contained in `t`,
+//! renumbers attributes down to `t`'s 1-positions, and merges duplicate
+//! projected queries into weights. [`ReducedInstance`] packages the
+//! result as a solvable instance; [`Projected`] lifts any
+//! [`SocAlgorithm`] to run on it transparently.
+//!
+//! **Objective equivalence** (the argument enforced by
+//! `tests/projection_diff.rs`): a compression retains `R ⊆ t`, and a
+//! query `q` is satisfied iff `q ⊆ R`, which forces `q ⊆ t` — so
+//! dropping non-contained queries changes no objective value. The
+//! renumbering is an order-preserving bijection between subsets of `t`
+//! and subsets of the compact universe, and containment is invariant
+//! under bijective renaming. Merging duplicates sums their weights,
+//! which is exactly how every counting kernel scores them. Hence for
+//! every `R ⊆ t`, the projected objective of `map(R)` equals the
+//! original objective of `R`; in particular optima correspond, so exact
+//! solvers are unaffected, while heuristics become *decision-equivalent*
+//! to running on the candidate-restricted, deduplicated full-width log
+//! (usually an improvement: hopeless queries stop polluting frequency
+//! counts).
+
+use soc_data::{AttrMapping, AttrSet, QueryLog, Tuple};
+
+use crate::{SocAlgorithm, SocInstance, Solution};
+
+/// A projected SOC-CB-QL instance, owning the compact log and tuple,
+/// plus the mapping back to the original universe.
+#[derive(Debug)]
+pub struct ReducedInstance {
+    log: QueryLog,
+    tuple: Tuple,
+    m: usize,
+    mapping: AttrMapping,
+}
+
+impl SocInstance<'_> {
+    /// Projects this instance onto the tuple's attribute universe.
+    ///
+    /// The reduced instance has `|t|` attributes (its tuple is the full
+    /// set — every compact attribute is present by construction) and
+    /// only the queries a compression of `t` could ever satisfy, with
+    /// duplicates merged into weights. Solve it with any algorithm via
+    /// [`ReducedInstance::solve_with`], which maps the retained set back.
+    pub fn reduced(&self) -> ReducedInstance {
+        let (log, mapping) = self.log.project_onto(self.tuple);
+        let tuple = Tuple::new(AttrSet::full(mapping.compact_universe()));
+        ReducedInstance {
+            log,
+            tuple,
+            m: self.m,
+            mapping,
+        }
+    }
+}
+
+impl ReducedInstance {
+    /// A borrowed [`SocInstance`] view over the compact log and tuple.
+    pub fn instance(&self) -> SocInstance<'_> {
+        SocInstance::new(&self.log, &self.tuple, self.m)
+    }
+
+    /// The compact query log.
+    pub fn log(&self) -> &QueryLog {
+        &self.log
+    }
+
+    /// The renumbering between the original and compact universes.
+    pub fn mapping(&self) -> &AttrMapping {
+        &self.mapping
+    }
+
+    /// Runs `algo` on the compact instance and returns the retained set
+    /// lifted back into the original universe, keeping the objective the
+    /// compact solve already computed (equal by the equivalence argument
+    /// in the module docs; `original` must be the instance this was
+    /// reduced from).
+    pub fn solve_with<A: SocAlgorithm + ?Sized>(
+        &self,
+        algo: &A,
+        original: &SocInstance<'_>,
+    ) -> Solution {
+        let compact = algo.solve(&self.instance());
+        let retained = self.mapping.to_original(&compact.retained);
+        original.solution_with_known_objective(retained, compact.satisfied)
+    }
+}
+
+/// Lifts an algorithm to solve via projection: project the instance,
+/// solve compactly, map the retained set back. Exact algorithms stay
+/// exact; every algorithm sees smaller models (ILP rows/columns, MFI
+/// transaction width, brute-force candidate count all shrink).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Projected<A>(pub A);
+
+impl<A: SocAlgorithm> SocAlgorithm for Projected<A> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn is_exact(&self) -> bool {
+        self.0.is_exact()
+    }
+
+    fn solve(&self, instance: &SocInstance<'_>) -> Solution {
+        instance.reduced().solve_with(&self.0, instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+
+    fn fig1() -> (QueryLog, Tuple) {
+        let log =
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
+        let t = Tuple::from_bitstring("110111").unwrap();
+        (log, t)
+    }
+
+    #[test]
+    fn reduced_instance_shrinks_both_dimensions() {
+        let (log, t) = fig1();
+        let inst = SocInstance::new(&log, &t, 3);
+        let reduced = inst.reduced();
+        assert_eq!(reduced.log().num_attrs(), 5); // t has 5 attributes
+        assert_eq!(reduced.log().len(), 4); // q5 {2,4} ⊄ t dropped
+        assert_eq!(reduced.instance().tuple.count(), 5);
+    }
+
+    #[test]
+    fn projected_brute_force_matches_direct() {
+        let (log, t) = fig1();
+        for m in 0..=6 {
+            let inst = SocInstance::new(&log, &t, m);
+            let direct = BruteForce.solve(&inst);
+            let projected = Projected(BruteForce).solve(&inst);
+            assert_eq!(projected.satisfied, direct.satisfied, "m = {m}");
+            assert!(projected.retained.is_subset(t.attrs()));
+            assert_eq!(projected.retained.universe(), 6);
+            assert!(projected.retained.count() <= m);
+        }
+    }
+
+    #[test]
+    fn empty_tuple_projects_to_empty_universe() {
+        let log = QueryLog::from_bitstrings(&["1100", "0011"]).unwrap();
+        let t = Tuple::from_bitstring("0000").unwrap();
+        let inst = SocInstance::new(&log, &t, 2);
+        let sol = Projected(BruteForce).solve(&inst);
+        assert_eq!(sol.satisfied, 0);
+        assert_eq!(sol.retained, AttrSet::empty(4));
+    }
+}

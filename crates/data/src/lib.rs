@@ -12,6 +12,8 @@
 //! - [`Query`] / [`QueryLog`] — conjunctive Boolean queries and workloads,
 //!   including the complement-support counting the MFI algorithm relies on;
 //! - [`LogIndex`] — the inverted bitmap index the counting kernels run on;
+//! - [`AttrMapping`] — the compact-universe renumbering behind
+//!   [`QueryLog::project_onto`], the per-tuple instance reduction;
 //! - [`Database`] — tuple collections with retrieval and domination counts,
 //!   and the SOC-CB-D → SOC-CB-QL reduction;
 //! - [`Combinations`] — lexicographic k-subset enumeration;
@@ -44,6 +46,7 @@ mod database;
 mod index;
 pub mod io;
 pub mod numeric;
+mod projection;
 mod query;
 mod querylog;
 mod schema;
@@ -53,6 +56,7 @@ pub use bitset::{AttrSet, Ones};
 pub use combinations::Combinations;
 pub use database::Database;
 pub use index::LogIndex;
+pub use projection::AttrMapping;
 pub use query::{Query, QueryId};
 pub use querylog::{QueryLog, QueryLogStats};
 pub use schema::{AttrId, Schema};

@@ -1,0 +1,188 @@
+//! Attribute-universe projection: the mapping between a full schema and
+//! the compact universe of one tuple's attributes.
+//!
+//! Solving SOC-CB-QL for a tuple `t` never needs the full `M`-attribute
+//! universe: a compression retains a subset of `t`, and a query can only
+//! be satisfied if it is contained in `t`. Restricting the log to those
+//! queries *and* renumbering attributes down to `t`'s 1-positions (cf.
+//! Tatti, *Safe Projections of Binary Data Sets*) shrinks every
+//! downstream structure at once — ILP models, MFI transaction width, and
+//! the brute-force search space. [`AttrMapping`] is the renumbering;
+//! [`crate::QueryLog::project_onto`] applies it to a log.
+
+use crate::{AttrSet, Tuple};
+
+/// A bijection between the subsets of one tuple's attributes in the
+/// original `M`-attribute universe and all subsets of a compact
+/// `|t|`-attribute universe.
+///
+/// Compact index `c` corresponds to the original index `kept[c]`, with
+/// `kept` ascending — so the mapping preserves attribute order, and
+/// deterministic tie-breaking (e.g. in the greedies) agrees between the
+/// full and projected instances wherever frequencies agree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrMapping {
+    original_universe: usize,
+    /// Compact index → original index, strictly ascending.
+    kept: Vec<usize>,
+    /// Original index → compact index, `u32::MAX` for dropped attributes.
+    compact_of: Vec<u32>,
+}
+
+impl AttrMapping {
+    /// The mapping that keeps exactly the attributes of `t` (in order).
+    pub fn for_tuple(t: &Tuple) -> Self {
+        Self::keeping(t.universe(), t.attrs().iter())
+    }
+
+    /// The mapping that keeps the given ascending original indices.
+    ///
+    /// # Panics
+    /// Panics if an index repeats, decreases, or exceeds the universe.
+    pub fn keeping<I: IntoIterator<Item = usize>>(original_universe: usize, indices: I) -> Self {
+        let mut kept = Vec::new();
+        let mut compact_of = vec![u32::MAX; original_universe];
+        for i in indices {
+            assert!(i < original_universe, "kept index {i} out of universe");
+            assert!(
+                kept.last().is_none_or(|&prev| prev < i),
+                "kept indices must be strictly ascending"
+            );
+            compact_of[i] = kept.len() as u32;
+            kept.push(i);
+        }
+        Self {
+            original_universe,
+            kept,
+            compact_of,
+        }
+    }
+
+    /// Width `M` of the original universe.
+    #[inline]
+    pub fn original_universe(&self) -> usize {
+        self.original_universe
+    }
+
+    /// Width of the compact universe (the number of kept attributes).
+    #[inline]
+    pub fn compact_universe(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// The original index of compact attribute `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of the compact universe.
+    #[inline]
+    pub fn original_index(&self, c: usize) -> usize {
+        self.kept[c]
+    }
+
+    /// The compact index of original attribute `i`, or `None` if dropped.
+    #[inline]
+    pub fn compact_index(&self, i: usize) -> Option<usize> {
+        match self.compact_of[i] {
+            u32::MAX => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// Maps a set over the original universe down to the compact one.
+    ///
+    /// # Panics
+    /// Panics if the set contains a dropped attribute (projection is only
+    /// defined on subsets of the kept attributes) or its universe differs
+    /// from the original.
+    pub fn to_compact(&self, original: &AttrSet) -> AttrSet {
+        assert_eq!(
+            original.universe(),
+            self.original_universe,
+            "set universe does not match the mapping's original universe"
+        );
+        AttrSet::from_indices(
+            self.kept.len(),
+            original.iter().map(|i| {
+                self.compact_index(i)
+                    .expect("set contains an attribute the projection dropped")
+            }),
+        )
+    }
+
+    /// Maps a set over the compact universe back to the original one.
+    ///
+    /// # Panics
+    /// Panics if the set's universe differs from the compact universe.
+    pub fn to_original(&self, compact: &AttrSet) -> AttrSet {
+        assert_eq!(
+            compact.universe(),
+            self.kept.len(),
+            "set universe does not match the mapping's compact universe"
+        );
+        AttrSet::from_indices(self.original_universe, compact.iter().map(|c| self.kept[c]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_over_tuple_attrs() {
+        let t = Tuple::from_bitstring("1011010").unwrap(); // {0, 2, 3, 5}
+        let map = AttrMapping::for_tuple(&t);
+        assert_eq!(map.original_universe(), 7);
+        assert_eq!(map.compact_universe(), 4);
+        assert_eq!(map.original_index(2), 3);
+        assert_eq!(map.compact_index(5), Some(3));
+        assert_eq!(map.compact_index(1), None);
+
+        let sub = AttrSet::from_indices(7, [0, 3, 5]);
+        let compact = map.to_compact(&sub);
+        assert_eq!(compact.to_indices(), vec![0, 2, 3]);
+        assert_eq!(map.to_original(&compact), sub);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_all_subsets() {
+        let t = Tuple::from_bitstring("0110101").unwrap();
+        let map = AttrMapping::for_tuple(&t);
+        let kept: Vec<usize> = t.attrs().to_indices();
+        for mask in 0u32..(1 << kept.len()) {
+            let original = AttrSet::from_indices(
+                7,
+                kept.iter()
+                    .enumerate()
+                    .filter(|&(c, _)| mask >> c & 1 == 1)
+                    .map(|(_, &i)| i),
+            );
+            let compact = map.to_compact(&original);
+            assert_eq!(compact.count(), original.count());
+            assert_eq!(map.to_original(&compact), original);
+        }
+    }
+
+    #[test]
+    fn empty_tuple_maps_to_zero_universe() {
+        let t = Tuple::from_bitstring("0000").unwrap();
+        let map = AttrMapping::for_tuple(&t);
+        assert_eq!(map.compact_universe(), 0);
+        let empty = map.to_compact(&AttrSet::empty(4));
+        assert_eq!(empty.universe(), 0);
+        assert_eq!(map.to_original(&empty), AttrSet::empty(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "projection dropped")]
+    fn dropped_attribute_panics() {
+        let t = Tuple::from_bitstring("1100").unwrap();
+        let map = AttrMapping::for_tuple(&t);
+        let _ = map.to_compact(&AttrSet::from_indices(4, [0, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unordered_kept_panics() {
+        let _ = AttrMapping::keeping(5, [2, 1]);
+    }
+}

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use crate::{AttrSet, LogIndex, Query, QueryId, Schema, Tuple};
+use crate::{AttrMapping, AttrSet, LogIndex, Query, QueryId, Schema, Tuple};
 
 /// An immutable collection of conjunctive queries over a shared [`Schema`].
 ///
@@ -229,6 +229,56 @@ impl QueryLog {
     #[must_use]
     pub fn restrict_to_candidate(&self, t: &Tuple) -> QueryLog {
         self.filter(|q| q.attrs().is_subset(t.attrs()))
+    }
+
+    /// Projects the log onto the attributes of `t`: keeps only queries
+    /// contained in `t` (the others can never be satisfied by any
+    /// compression of `t`), renumbers attributes down to the compact
+    /// universe of `t`'s present attributes, and merges queries that
+    /// become identical after renumbering into summed weights.
+    ///
+    /// For any compression `R ⊆ t`, the total weight of satisfied queries
+    /// in the projected log (with `R` mapped via
+    /// [`AttrMapping::to_compact`]) equals the SOC objective of `R` in the
+    /// original log — see DESIGN.md, "Instance projection".
+    ///
+    /// # Panics
+    /// Panics if `t`'s universe differs from the schema width.
+    #[must_use]
+    pub fn project_onto(&self, t: &Tuple) -> (QueryLog, AttrMapping) {
+        assert_eq!(
+            t.universe(),
+            self.num_attrs(),
+            "tuple universe does not match schema width"
+        );
+        let mapping = AttrMapping::for_tuple(t);
+        let schema = Arc::new(Schema::new(
+            t.attrs().iter().map(|i| self.schema.names()[i].clone()),
+        ));
+        let mut seen: std::collections::HashMap<Query, usize> = std::collections::HashMap::new();
+        let mut queries: Vec<Query> = Vec::new();
+        let mut weights: Vec<usize> = Vec::new();
+        for (q, &w) in self.queries.iter().zip(&self.weights) {
+            if !q.attrs().is_subset(t.attrs()) {
+                continue;
+            }
+            let projected = Query::new(mapping.to_compact(q.attrs()));
+            match seen.get(&projected) {
+                Some(&i) => weights[i] += w,
+                None => {
+                    seen.insert(projected.clone(), queries.len());
+                    queries.push(projected);
+                    weights.push(w);
+                }
+            }
+        }
+        let log = QueryLog {
+            schema,
+            queries,
+            weights,
+            index: OnceLock::new(),
+        };
+        (log, mapping)
     }
 
     /// Keeps only the queries for which `keep` returns true (weights
@@ -527,5 +577,87 @@ mod weight_tests {
         let schema = Arc::new(Schema::anonymous(2));
         let q = Query::from_bitstring("10").unwrap();
         let _ = QueryLog::new_weighted(schema, vec![q], vec![1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod projection_tests {
+    use super::*;
+
+    #[test]
+    fn projection_keeps_only_contained_queries() {
+        let log =
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
+        let t = Tuple::from_bitstring("110110").unwrap(); // {0,1,3,4}
+        let (proj, mapping) = log.project_onto(&t);
+        assert_eq!(proj.num_attrs(), 4);
+        // q1 {0,1}, q2 {0,3}, q3 {1,3} are ⊆ t; q4 {3,5}, q5 {2,4} are not.
+        assert_eq!(proj.len(), 3);
+        assert_eq!(proj.total_weight(), 3);
+        assert_eq!(
+            proj.queries()[1].attrs().to_indices(),
+            vec![0, 2] // {0,3} with attr 3 renumbered to compact 2
+        );
+        assert_eq!(mapping.compact_index(3), Some(2));
+        // Kept schema names travel with the projection.
+        assert_eq!(proj.schema().names()[2], log.schema().names()[3]);
+    }
+
+    #[test]
+    fn projection_merges_duplicates_into_weights() {
+        // After dropping attr 2 (absent from t), queries "101" and "100"
+        // both project to {0} over the compact universe... but projection
+        // keeps only *contained* queries, so craft true duplicates instead:
+        // two identical contained queries plus one distinct.
+        let log = QueryLog::from_bitstrings(&["1100", "1100", "0100", "0011"]).unwrap();
+        let t = Tuple::from_bitstring("1101").unwrap();
+        let (proj, _) = log.project_onto(&t);
+        // "0011" is not ⊆ t; "1100" ×2 merge; "0100" stays.
+        assert_eq!(proj.len(), 2);
+        assert_eq!(proj.weight(QueryId(0)), 2);
+        assert_eq!(proj.weight(QueryId(1)), 1);
+        assert_eq!(proj.total_weight(), 3);
+    }
+
+    #[test]
+    fn projected_objective_equals_original_for_all_compressions() {
+        let log = QueryLog::from_bitstrings(&[
+            "110000", "100100", "010100", "000101", "001010", "100100", "010000",
+        ])
+        .unwrap();
+        let t = Tuple::from_bitstring("110110").unwrap();
+        let (proj, mapping) = log.project_onto(&t);
+        // Every subset R ⊆ t must score identically in both universes.
+        let kept: Vec<usize> = t.attrs().to_indices();
+        for mask in 0u32..(1 << kept.len()) {
+            let retained = AttrSet::from_indices(
+                6,
+                kept.iter()
+                    .enumerate()
+                    .filter(|&(c, _)| mask >> c & 1 == 1)
+                    .map(|(_, &i)| i),
+            );
+            let full = log.satisfied_count(&Tuple::new(retained.clone()));
+            let compact = proj.satisfied_count(&Tuple::new(mapping.to_compact(&retained)));
+            assert_eq!(full, compact, "retained = {retained}");
+        }
+    }
+
+    #[test]
+    fn projection_onto_full_tuple_is_dedup() {
+        let log = QueryLog::from_bitstrings(&["1100", "1100", "0011"]).unwrap();
+        let t = Tuple::from_bitstring("1111").unwrap();
+        let (proj, mapping) = log.project_onto(&t);
+        assert_eq!(mapping.compact_universe(), 4);
+        assert_eq!(proj.len(), 2);
+        assert_eq!(proj.total_weight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match schema")]
+    fn projection_universe_enforced() {
+        let log = QueryLog::from_bitstrings(&["1100"]).unwrap();
+        let t = Tuple::from_bitstring("110").unwrap();
+        let _ = log.project_onto(&t);
     }
 }

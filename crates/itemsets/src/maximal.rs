@@ -297,6 +297,117 @@ impl MfiMiner {
     }
 }
 
+/// Walks each worker performs between merge points of
+/// [`MfiMiner::mine_parallel`]. Large enough to amortize the per-round
+/// fork/join, small enough that the stop rule is checked often.
+const WALKS_PER_WORKER_PER_ROUND: usize = 8;
+
+impl MfiMiner {
+    /// Runs the repeated walk across the workers of `pool`,
+    /// deterministically given `(seed, pool.threads())`.
+    ///
+    /// Determinism rules (documented in DESIGN.md):
+    ///
+    /// - worker `j` draws from its own [`StdRng::stream`]`(seed, j)`,
+    ///   persisted across rounds — no worker ever touches another's
+    ///   generator;
+    /// - every round assigns each worker a fixed walk count computed from
+    ///   the remaining budget alone (never from timing);
+    /// - discoveries merge into the shared seen-map in stream order
+    ///   `j = 0..W` at the round barrier, and the stop rule is evaluated
+    ///   only there, on the merged map.
+    ///
+    /// Consequently the result depends only on the seed and the worker
+    /// count — never on scheduling — and `threads() == 1` reproduces a
+    /// serial run of stream 0.
+    pub fn mine_parallel<S: SupportCounter + Sync>(
+        &self,
+        data: &S,
+        seed: u64,
+        pool: &soc_pool::Pool,
+    ) -> MfiResult {
+        let cfg = &self.config;
+        let w = pool.threads();
+        let mut seen: HashMap<AttrSet, (usize, usize)> = HashMap::new();
+        let mut stats = WalkStats::default();
+        let mut iterations = 0;
+        let mut converged = false;
+
+        // Nothing (not even ∅) is frequent: every walk would report None,
+        // matching the serial miner's immediate empty-and-converged exit.
+        if cfg.threshold > data.num_rows() {
+            converged = true;
+        }
+
+        let mut streams: Vec<StdRng> = (0..w).map(|j| StdRng::stream(seed, j as u64)).collect();
+
+        while !converged && iterations < cfg.max_iterations {
+            let target = match cfg.stop {
+                StopRule::FixedIterations(n) => n.min(cfg.max_iterations),
+                StopRule::SeenTwice => cfg.max_iterations,
+            };
+            let round_total = (target - iterations).min(w * WALKS_PER_WORKER_PER_ROUND);
+            let (base, extra) = (round_total / w, round_total % w);
+
+            let round = pool.map_indexed(w, |j| {
+                let mut rng = streams[j].clone();
+                let walks = base + usize::from(j < extra);
+                let mut found: Vec<(AttrSet, usize)> = Vec::with_capacity(walks);
+                let mut wstats = WalkStats::default();
+                for _ in 0..walks {
+                    let (mfi, s) = match cfg.direction {
+                        WalkDirection::TopDown => top_down_walk(data, cfg.threshold, &mut rng),
+                        WalkDirection::BottomUp => bottom_up_walk(data, cfg.threshold, &mut rng),
+                    };
+                    wstats.down_steps += s.down_steps;
+                    wstats.up_steps += s.up_steps;
+                    wstats.support_calls += s.support_calls;
+                    let mfi = mfi.expect("threshold <= num_rows was checked upfront");
+                    let support = data.support(&mfi);
+                    found.push((mfi, support));
+                }
+                (found, wstats, rng)
+            });
+
+            // Merge in stream order at the barrier — the only point where
+            // worker results meet, so ordering is schedule-independent.
+            for (j, (found, wstats, rng)) in round.into_iter().enumerate() {
+                streams[j] = rng;
+                iterations += found.len();
+                stats.down_steps += wstats.down_steps;
+                stats.up_steps += wstats.up_steps;
+                stats.support_calls += wstats.support_calls;
+                for (mfi, support) in found {
+                    seen.entry(mfi).or_insert((support, 0)).1 += 1;
+                }
+            }
+
+            converged = match cfg.stop {
+                StopRule::SeenTwice => {
+                    iterations >= cfg.min_iterations.max(1) && seen.values().all(|&(_, c)| c >= 2)
+                }
+                StopRule::FixedIterations(n) => iterations >= n && n < cfg.max_iterations,
+            };
+        }
+
+        let mut itemsets = Vec::with_capacity(seen.len());
+        let mut times = Vec::with_capacity(seen.len());
+        let mut entries: Vec<(AttrSet, (usize, usize))> = seen.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // same order as the serial miner
+        for (items, (support, count)) in entries {
+            itemsets.push(FrequentItemset { items, support });
+            times.push(count);
+        }
+        MfiResult {
+            itemsets,
+            times_discovered: times,
+            iterations,
+            converged,
+            stats,
+        }
+    }
+}
+
 /// Exhaustive MFI enumeration — test oracle for tiny universes.
 ///
 /// # Panics
@@ -461,5 +572,105 @@ mod tests {
         let (r, stats) = top_down_walk(&t, 2, &mut rng);
         assert_eq!(r.unwrap(), AttrSet::full(4));
         assert_eq!(stats.down_steps, 0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::TransactionSet;
+    use soc_pool::Pool;
+
+    fn sample() -> TransactionSet {
+        TransactionSet::new(
+            6,
+            vec![
+                AttrSet::from_indices(6, [0, 1, 2, 3]),
+                AttrSet::from_indices(6, [0, 1, 2]),
+                AttrSet::from_indices(6, [0, 1, 4]),
+                AttrSet::from_indices(6, [2, 3, 4]),
+                AttrSet::from_indices(6, [0, 1, 2, 3, 4]),
+            ],
+        )
+    }
+
+    fn canon(mut v: Vec<FrequentItemset>) -> Vec<String> {
+        v.sort_by_key(|f| f.items.to_bitstring());
+        v.into_iter().map(|f| f.items.to_bitstring()).collect()
+    }
+
+    fn miner(threshold: usize, stop: StopRule) -> MfiMiner {
+        MfiMiner::new(MfiConfig {
+            threshold,
+            max_iterations: 2_000,
+            min_iterations: 1,
+            direction: WalkDirection::TopDown,
+            stop,
+        })
+    }
+
+    #[test]
+    fn parallel_discovers_all_mfis() {
+        let t = sample();
+        let pool = Pool::new(4);
+        for threshold in 1..=3 {
+            let expected = canon(enumerate_maximal(&t, threshold));
+            let result =
+                miner(threshold, StopRule::FixedIterations(500)).mine_parallel(&t, 42, &pool);
+            assert!(result.converged);
+            assert_eq!(result.iterations, 500);
+            assert_eq!(canon(result.itemsets), expected, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_given_seed_and_workers() {
+        let t = sample();
+        for workers in [1, 2, 5] {
+            let pool = Pool::new(workers);
+            let run = || miner(2, StopRule::SeenTwice).mine_parallel(&t, 0xD5EE_D, &pool);
+            let (a, b) = (run(), run());
+            assert_eq!(canon(a.itemsets.clone()), canon(b.itemsets.clone()));
+            assert_eq!(a.times_discovered, b.times_discovered);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.converged, b.converged);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_itemsets() {
+        let t = sample();
+        let with_workers = |w: usize| {
+            let pool = Pool::new(w);
+            canon(
+                miner(2, StopRule::FixedIterations(400))
+                    .mine_parallel(&t, 7, &pool)
+                    .itemsets,
+            )
+        };
+        // Discovery counts differ across worker counts, but a generous
+        // budget makes the discovered *set* complete either way.
+        assert_eq!(with_workers(1), with_workers(4));
+    }
+
+    #[test]
+    fn parallel_seen_twice_converges() {
+        let t = sample();
+        let pool = Pool::new(3);
+        let result = miner(2, StopRule::SeenTwice).mine_parallel(&t, 3, &pool);
+        assert!(result.converged);
+        assert!(result.times_discovered.iter().all(|&c| c >= 2));
+        assert!((result.unseen_mass_estimate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_impossible_threshold_reports_empty() {
+        let t = sample();
+        let pool = Pool::new(2);
+        let result = miner(100, StopRule::SeenTwice).mine_parallel(&t, 1, &pool);
+        assert!(result.itemsets.is_empty());
+        assert!(result.converged);
+        assert_eq!(result.iterations, 0);
     }
 }

@@ -1,0 +1,380 @@
+//! # soc-pool
+//!
+//! A small, dependency-free work-stealing thread pool for the `standout`
+//! workspace.
+//!
+//! The batch-serving layer solves one SOC instance per incoming tuple,
+//! and per-instance cost varies by orders of magnitude across algorithms
+//! and tuples (an MFI cache miss mines the whole log; a greedy solve is
+//! microseconds). Static chunking over `std::thread::scope` therefore
+//! straggles: one worker draws the expensive chunk while the others idle.
+//! This pool replaces pre-chunking with per-task stealing:
+//!
+//! - a global **injector** FIFO seeded with all task indices, drained in
+//!   adaptively sized batches (large while plenty of work remains, down
+//!   to single tasks near the tail — classic guided scheduling, so the
+//!   common cheap-task case still amortizes queue locking);
+//! - a **per-worker deque** holding each worker's claimed batch; owners
+//!   pop from the front (preserving index locality), idle workers steal
+//!   the *back half* of a victim's deque;
+//! - **deterministic result slots**: task `i` writes `f(i)` into slot
+//!   `i`, so the output order equals the input order and — for a pure
+//!   `f` — the result vector is bit-identical regardless of thread
+//!   count or scheduling.
+//!
+//! The pool is *scoped*: workers are `std::thread::scope` threads, so
+//! tasks may borrow from the caller's stack (no `'static` bounds, no
+//! channels). Worker threads live for one `map` call; per-call spawn
+//! cost is negligible against the per-task solve cost this pool exists
+//! to balance.
+//!
+//! ```
+//! use soc_pool::Pool;
+//!
+//! let squares = Pool::new(4).map_indexed(10, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Largest number of tasks a worker claims from the injector at once.
+/// Bounds worst-case imbalance at the tail to `INJECTOR_BATCH_CAP − 1`
+/// tasks stuck behind a straggler before stealing kicks in.
+const INJECTOR_BATCH_CAP: usize = 32;
+
+/// A work-stealing thread pool of a fixed worker count.
+///
+/// Cheap to construct (no threads are spawned until a `map` call) and
+/// reusable; each `map_indexed`/`map` call runs its tasks on a fresh
+/// scoped worker set and blocks until every task has finished.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool of `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        Self { threads }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`,
+    /// falling back to 1 when unknown).
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::new(threads)
+    }
+
+    /// The worker count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Computes `f(i)` for every `i in 0..n` with work stealing and
+    /// returns the results in index order. `f` runs concurrently on up
+    /// to `threads` workers; for a pure `f` the result is identical to
+    /// `(0..n).map(f).collect()` regardless of worker count.
+    ///
+    /// # Panics
+    /// Propagates the first panic raised by `f` (remaining tasks may or
+    /// may not run).
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if n == 0 {
+            return Vec::new();
+        }
+        if workers == 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let slots = Slots::new(n);
+        let queues = Queues::new(workers, n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|id| {
+                    let queues = &queues;
+                    let slots = &slots;
+                    let f = &f;
+                    scope.spawn(move || {
+                        while let Some(task) = queues.next_task(id) {
+                            // Decrement happens in Drop so that an unwinding
+                            // task still releases its slot and peers spinning
+                            // on `remaining` can terminate.
+                            let _finish = Finish(&queues.remaining);
+                            let value = f(task);
+                            // Safety: `next_task` hands out each index exactly
+                            // once, so this worker is the sole writer of slot
+                            // `task`.
+                            unsafe { slots.write(task, value) };
+                        }
+                    })
+                })
+                .collect();
+            // Join explicitly so a task panic resurfaces with its original
+            // payload instead of scope's generic "a scoped thread panicked".
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots.into_results()
+    }
+
+    /// Maps `f` over a slice with work stealing; results are in input
+    /// order. Convenience wrapper over [`Pool::map_indexed`].
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.map_indexed(items.len(), |i| f(&items[i]))
+    }
+}
+
+/// Decrements the outstanding-task counter on drop (panic-safe).
+struct Finish<'a>(&'a AtomicUsize);
+
+impl Drop for Finish<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The injector + per-worker deques + termination counter.
+struct Queues {
+    /// Global FIFO of not-yet-claimed task indices.
+    injector: Mutex<VecDeque<usize>>,
+    /// One deque per worker: owner pops the front, thieves take the back.
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Tasks not yet *finished* (claimed tasks count until their `Finish`
+    /// guard drops). Workers only exit once this reaches zero, because a
+    /// task in flight proves no new work can appear afterwards.
+    remaining: AtomicUsize,
+}
+
+impl Queues {
+    fn new(workers: usize, n: usize) -> Self {
+        Self {
+            injector: Mutex::new((0..n).collect()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            remaining: AtomicUsize::new(n),
+        }
+    }
+
+    /// The next task for `worker`, or `None` once all tasks finished.
+    /// Order: own deque front → injector batch → steal → spin-wait.
+    fn next_task(&self, worker: usize) -> Option<usize> {
+        loop {
+            if let Some(t) = self.lock_local(worker).pop_front() {
+                return Some(t);
+            }
+            if let Some(t) = self.claim_from_injector(worker) {
+                return Some(t);
+            }
+            if let Some(t) = self.steal(worker) {
+                return Some(t);
+            }
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            // Peers still execute claimed tasks (which we cannot steal);
+            // yield until they finish or new steals open up.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Claims a guided-size batch from the injector: `1/(2·workers)` of
+    /// what remains, clamped to `[1, INJECTOR_BATCH_CAP]`. The first task
+    /// is returned, the rest parked in the worker's own deque.
+    fn claim_from_injector(&self, worker: usize) -> Option<usize> {
+        let mut injector = self.injector.lock().expect("injector poisoned");
+        let first = injector.pop_front()?;
+        let batch = (injector.len() / (2 * self.locals.len())).clamp(1, INJECTOR_BATCH_CAP) - 1;
+        if batch > 0 {
+            let mut local = self.lock_local(worker);
+            for _ in 0..batch {
+                match injector.pop_front() {
+                    Some(t) => local.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Some(first)
+    }
+
+    /// Steals the back half of the first non-empty victim deque. Returns
+    /// the lowest stolen index; the rest go to the thief's own deque.
+    fn steal(&self, thief: usize) -> Option<usize> {
+        let workers = self.locals.len();
+        for k in 1..workers {
+            let victim = (thief + k) % workers;
+            let mut stolen: Vec<usize> = {
+                let mut v = self.lock_local(victim);
+                let take = v.len().div_ceil(2);
+                // Back half = the tasks the owner would reach last.
+                (0..take).filter_map(|_| v.pop_back()).collect()
+            };
+            if let Some(first) = stolen.pop() {
+                // `stolen` was popped back-to-front, so the remaining
+                // entries are in descending index order; reverse to keep
+                // the thief scanning ascending indices like an owner.
+                let mut local = self.lock_local(thief);
+                for t in stolen.into_iter().rev() {
+                    local.push_back(t);
+                }
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    fn lock_local(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        self.locals[worker].lock().expect("worker deque poisoned")
+    }
+}
+
+/// One write-once result slot per task. `Sync` is sound because the
+/// queues hand each index to exactly one worker, making every slot
+/// single-writer, and the scope join synchronizes writes with the final
+/// read.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Self((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// # Safety
+    /// The caller must be the unique writer of `index`.
+    unsafe fn write(&self, index: usize, value: T) {
+        *self.0[index].get() = Some(value);
+    }
+
+    fn into_results(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|c| {
+                c.into_inner()
+                    .expect("every task index is executed exactly once")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn results_are_in_input_order() {
+        for threads in [1, 2, 3, 8, 32] {
+            let out = Pool::new(threads).map_indexed(100, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let out = Pool::new(16).map_indexed(3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Pool::new(4).map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_over_slice_borrows() {
+        let words = ["a", "bb", "ccc"];
+        let lens = Pool::new(2).map(&words, |w| w.len());
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn skewed_costs_still_complete_and_stay_ordered() {
+        // One task is 1000× the others; with static chunking the worker
+        // that owns it would also serialize its whole chunk. Here the
+        // rest of its batch gets stolen, and the output order must be
+        // unaffected either way.
+        let out = Pool::new(4).map_indexed(64, |i| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let reference = Pool::new(1).map_indexed(257, |i| i.wrapping_mul(0x9E37) ^ 0b1010);
+        for threads in [2, 5, 8] {
+            for _ in 0..3 {
+                let run = Pool::new(threads).map_indexed(257, |i| i.wrapping_mul(0x9E37) ^ 0b1010);
+                assert_eq!(run, reference, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_actually_happens() {
+        // Worker holding the first batch blocks; the rest of its deque
+        // must be executed by thieves for the call to return quickly.
+        let blocked = AtomicBool::new(false);
+        let out = Pool::new(2).map_indexed(40, |i| {
+            if i == 0 {
+                blocked.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            i
+        });
+        assert!(blocked.load(Ordering::SeqCst));
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "task zero failed")]
+    fn task_panic_propagates() {
+        let _ = Pool::new(4).map_indexed(16, |i| {
+            if i == 0 {
+                panic!("task zero failed");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_panics() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn available_parallelism_pool_works() {
+        let pool = Pool::with_available_parallelism();
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.map_indexed(5, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+}

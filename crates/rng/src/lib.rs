@@ -58,6 +58,20 @@ impl StdRng {
         }
     }
 
+    /// The generator for one stream of a seed-split family:
+    /// `stream(seed, 0), stream(seed, 1), …` are decorrelated,
+    /// reproducible generators derived from a single seed. Parallel
+    /// consumers (the multi-worker MFI miner) give each worker its own
+    /// stream index so results depend only on the seed and the number of
+    /// workers — never on scheduling.
+    pub fn stream(seed: u64, stream_index: u64) -> Self {
+        // Run the index through one SplitMix64 step before XOR-ing into
+        // the seed: adjacent stream indices land on decorrelated seeds,
+        // and seed_from_u64 then decorrelates the four state words.
+        let mut sm = stream_index;
+        Self::seed_from_u64(seed ^ splitmix64(&mut sm))
+    }
+
     /// The next 64 uniformly distributed bits (xoshiro256**).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -252,6 +266,21 @@ mod tests {
         assert_eq!(s[3], 0xF88B_B8A8_724C_81EC);
         let rng = StdRng::seed_from_u64(0);
         assert_eq!(rng.s, s);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        for j in 0..8u64 {
+            assert_eq!(StdRng::stream(42, j), StdRng::stream(42, j));
+        }
+        let firsts: Vec<u64> = (0..8u64)
+            .map(|j| StdRng::stream(42, j).next_u64())
+            .collect();
+        let mut unique = firsts.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), firsts.len(), "stream collision: {firsts:?}");
+        assert_ne!(StdRng::stream(42, 0), StdRng::stream(43, 0));
     }
 
     #[test]

@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace -- -D warnings
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
