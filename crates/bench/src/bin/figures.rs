@@ -4,17 +4,17 @@
 //!   figures [--quick] [experiment ...]
 //!
 //! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 walk threshold stopping
-//! apriori preprocess gap dedup index miner drift serving all
+//! apriori preprocess gap dedup index miner drift serving ilp all
 //! (default: all)
 //!
-//! `serving` additionally writes the machine-readable
-//! `BENCH_serving.json` into the current directory.
+//! `serving` and `ilp` additionally write the machine-readable
+//! `BENCH_serving.json` / `BENCH_ilp.json` into the current directory.
 //!
 //! `--quick` averages over 10 cars and truncates sweeps; the default
 //! (full) scale matches the paper's 100-car averages.
 
 use soc_bench::harness::{Scale, Table};
-use soc_bench::{ablations, figs, serving};
+use soc_bench::{ablations, figs, ilp, serving};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +48,7 @@ fn main() {
         ("miner", ablations::miner_comparison),
         ("drift", ablations::log_drift),
         ("serving", serving::batch_serving),
+        ("ilp", ilp::ilp_solver_bench),
     ];
 
     let run_all = wanted.contains(&"all");

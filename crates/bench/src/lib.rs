@@ -11,4 +11,5 @@
 pub mod ablations;
 pub mod figs;
 pub mod harness;
+pub mod ilp;
 pub mod serving;

@@ -60,7 +60,7 @@ pub struct ServingParams {
 /// stealing scheduler and the parallel miner are genuinely exercised
 /// even on single-core CI hosts (where those axes measure pure overhead
 /// and any speedup comes from projection alone).
-fn pool_threads() -> usize {
+pub(crate) fn pool_threads() -> usize {
     std::thread::available_parallelism()
         .map_or(4, std::num::NonZero::get)
         .max(2)

@@ -5,7 +5,7 @@
 //! path is unit-testable; `src/main.rs` is a thin binary shim.
 //!
 //! ```text
-//! soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N]
+//! soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N] [--stats]
 //! soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
 //! soc per-attr --log FILE --tuple BITS [--algo NAME]
 //! soc stats    --log FILE
@@ -65,7 +65,7 @@ fn runtime(message: impl Into<String>) -> CliError {
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
 usage:
-  soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N]
+  soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N] [--stats]
   soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
   soc per-attr --log FILE --tuple BITS [--algo NAME]
   soc stats    --log FILE
@@ -73,7 +73,8 @@ usage:
 
 algorithms: brute ilp mfi mfi-det attr cumul queries local (default: mfi)
 --project solves on the tuple-projected instance; --workers N mines MFIs
-with N threads (mfi only)";
+with N threads (mfi only); --stats prints branch-and-bound counters
+(nodes, LP pivots, warm-start hit rate — ilp only)";
 
 /// Abstraction over the filesystem so tests can inject content.
 pub trait FileSource {
@@ -234,28 +235,59 @@ fn cmd_solve(rest: &[String], files: &dyn FileSource) -> Result<String, CliError
         .map(|s| parse_usize(s, "--workers"))
         .transpose()?
         .unwrap_or(1);
-    let algo = algorithm_with_workers(args.value("--algo")?.unwrap_or("mfi"), workers)?;
+    let algo_name = args.value("--algo")?.unwrap_or("mfi");
+    let algo = algorithm_with_workers(algo_name, workers)?;
     if args.flag("--dedup") {
         log = log.deduplicate();
     }
     let project = args.flag("--project");
+    let want_stats = args.flag("--stats");
     args.finish()?;
+    if want_stats && algo_name != "ilp" {
+        return Err(usage(format!(
+            "--stats only applies to the ilp algorithm, not {algo_name:?}"
+        )));
+    }
+    if want_stats && project {
+        return Err(usage("--stats cannot be combined with --project"));
+    }
 
     let tuple = parse_tuple(tuple_bits, log.schema())?;
     let inst = SocInstance::new(&log, &tuple, m);
-    let sol = if project {
-        Projected(algo.as_ref()).solve(&inst)
+    let (sol, stats) = if want_stats {
+        let (sol, stats) = IlpSolver::default().solve_with_stats(&inst);
+        (sol, Some(stats))
+    } else if project {
+        (Projected(algo.as_ref()).solve(&inst), None)
     } else {
-        algo.solve(&inst)
+        (algo.solve(&inst), None)
     };
-    Ok(format!(
+    let mut out = format!(
         "algorithm: {}\nretained:  {}\nbits:      {}\nsatisfied: {} of {} (weight)\n",
         algo.name(),
         describe(&sol.retained, log.schema()),
         sol.retained.to_bitstring(),
         sol.satisfied,
         log.total_weight(),
-    ))
+    );
+    if let Some(s) = stats {
+        out.push_str(&format!(
+            "nodes:     {} ({} pruned by pre-bound, {} presolved vars, {} threads)\nlp pivots: {} primal + {} dual ({:.2} per node)\nwarm lp:   {} of {} node LPs warm-started ({:.0}%), {} cold, {} fallbacks\n",
+            s.nodes,
+            s.pre_bound_pruned,
+            s.presolved_vars,
+            s.threads,
+            s.lp_pivots,
+            s.dual_pivots,
+            s.pivots_per_node(),
+            s.warm_solves,
+            s.warm_solves + s.cold_solves,
+            s.warm_hit_rate() * 100.0,
+            s.cold_solves,
+            s.warm_failures,
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_dominate(rest: &[String], files: &dyn FileSource) -> Result<String, CliError> {
@@ -490,6 +522,39 @@ attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
             "3",
         ]);
         assert!(out.contains("satisfied: 3 of 5"), "{out}");
+    }
+
+    #[test]
+    fn solve_with_stats_reports_solver_counters() {
+        let out = run_ok(&[
+            "solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--algo", "ilp", "--stats",
+        ]);
+        assert!(out.contains("satisfied: 3 of 5"), "{out}");
+        assert!(out.contains("nodes:"), "{out}");
+        assert!(out.contains("lp pivots:"), "{out}");
+        assert!(out.contains("warm lp:"), "{out}");
+    }
+
+    #[test]
+    fn stats_flag_is_ilp_only() {
+        let err = run_err(&[
+            "solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--algo", "mfi", "--stats",
+        ]);
+        assert_eq!(err.code, 2);
+        let err = run_err(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--algo",
+            "ilp",
+            "--stats",
+            "--project",
+        ]);
+        assert_eq!(err.code, 2);
     }
 
     #[test]

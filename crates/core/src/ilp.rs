@@ -7,7 +7,7 @@
 //! for moderate instances; the paper observed (and our benches reproduce)
 //! that it degrades for long query logs.
 
-use soc_solver::{Cmp, LinExpr, MipOptions, Model, Sense};
+use soc_solver::{Cmp, LinExpr, MipOptions, Model, Sense, SolveStats};
 
 use crate::{SocAlgorithm, SocInstance, Solution};
 
@@ -118,16 +118,12 @@ impl IlpSolver {
     }
 }
 
-impl SocAlgorithm for IlpSolver {
-    fn name(&self) -> &'static str {
-        "ILP"
-    }
-
-    fn is_exact(&self) -> bool {
-        true
-    }
-
-    fn solve(&self, instance: &SocInstance<'_>) -> Solution {
+impl IlpSolver {
+    /// Solves the instance and additionally returns the branch-and-bound
+    /// counters (nodes, LP pivots, warm-start hit rate) — the
+    /// observability hook used by the CLI's `--stats` flag and by the
+    /// `BENCH_ilp.json` figures experiment.
+    pub fn solve_with_stats(&self, instance: &SocInstance<'_>) -> (Solution, SolveStats) {
         let mut options = self.options.clone();
         options.integral_objective = true;
         let model = self.build_model(instance);
@@ -146,7 +142,23 @@ impl SocAlgorithm for IlpSolver {
         // At the optimum every y_i is at its upper bound, so the MIP
         // objective already is the satisfied-weight count; rounding
         // absorbs solver epsilon (integral_objective is forced on).
-        instance.solution_with_known_objective(retained, mip.objective.round() as usize)
+        let solution =
+            instance.solution_with_known_objective(retained, mip.objective.round() as usize);
+        (solution, mip.stats)
+    }
+}
+
+impl SocAlgorithm for IlpSolver {
+    fn name(&self) -> &'static str {
+        "ILP"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn solve(&self, instance: &SocInstance<'_>) -> Solution {
+        self.solve_with_stats(instance).0
     }
 }
 
@@ -274,6 +286,71 @@ mod verbatim_tests {
                 BruteForce.solve(&inst).satisfied,
                 "m = {m}"
             );
+        }
+    }
+
+    #[test]
+    fn verbatim_still_builds_the_raw_paper_model() {
+        // The §IV.B model with no pruning: one x per attribute, one y per
+        // query (hopeless or not), one link row per (query, attribute)
+        // pair, plus the budget row.
+        let log =
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap();
+        let t = Tuple::from_bitstring("110111").unwrap();
+        let inst = SocInstance::new(&log, &t, 3);
+        let model = IlpSolver::verbatim().build_model(&inst);
+        assert_eq!(model.num_vars(), 6 + 5);
+        assert_eq!(model.num_constraints(), 10 + 1);
+    }
+
+    /// Satellite regression: the warm-LP dual-simplex path must return
+    /// objectives identical to the cold two-phase path on the seed
+    /// examples, in every solver configuration, and the statistics must
+    /// corroborate which LP path actually ran.
+    #[test]
+    fn warm_lp_matches_cold_lp_on_seed_instances() {
+        let fig1 = (
+            QueryLog::from_bitstrings(&["110000", "100100", "010100", "000101", "001010"]).unwrap(),
+            Tuple::from_bitstring("110111").unwrap(),
+        );
+        let wide = (
+            QueryLog::from_bitstrings(&[
+                "1100000", "1010000", "0110000", "0001100", "0001010", "0000011", "1100000",
+            ])
+            .unwrap(),
+            Tuple::from_bitstring("1111111").unwrap(),
+        );
+        for (log, t) in [&fig1, &wide] {
+            for m in 0..=log.num_attrs() {
+                let inst = SocInstance::new(log, t, m);
+                let want = BruteForce.solve(&inst).satisfied;
+                for verbatim in [false, true] {
+                    let base = if verbatim {
+                        IlpSolver::verbatim()
+                    } else {
+                        IlpSolver::default()
+                    };
+                    let mut cold = base.clone();
+                    cold.options.warm_lp = false;
+                    let mut warm = base;
+                    warm.options.warm_lp = true;
+                    let (cold_sol, cold_stats) = cold.solve_with_stats(&inst);
+                    let (warm_sol, warm_stats) = warm.solve_with_stats(&inst);
+                    assert_eq!(cold_sol.satisfied, want, "cold, m = {m}");
+                    assert_eq!(warm_sol.satisfied, want, "warm, m = {m}");
+                    assert_eq!(
+                        cold_stats.warm_solves, 0,
+                        "cold path must never warm-start (m = {m})"
+                    );
+                    if verbatim {
+                        // Without presolve the root node is always
+                        // explored; with it the model may be solved
+                        // outright and report zero nodes.
+                        assert!(cold_stats.nodes > 0, "stats must report node counts");
+                        assert!(warm_stats.nodes > 0, "stats must report node counts");
+                    }
+                }
+            }
         }
     }
 }

@@ -1,28 +1,54 @@
 //! LP-based branch-and-bound for 0/1 integer programs.
 //!
-//! Best-first search over binary fixings: each node solves the bounded
-//! simplex relaxation with some binaries pinned, prunes against the best
-//! incumbent, and branches on the most fractional binary. This reproduces
-//! the behaviour the paper observed with its off-the-shelf solver —
-//! "carefully designed branch and bound algorithms can efficiently solve
-//! problems of moderate size" (§VI), degrading for long query logs.
+//! Best-first search over binary fixings. Each node re-optimizes its LP
+//! relaxation *warm* from its parent's basis snapshot (dual simplex, see
+//! [`crate::simplex`]) instead of a cold two-phase solve, prunes against
+//! a shared incumbent, and branches by pseudocost estimates. A cheap
+//! combinatorial pre-bound (the box relaxation of the objective under
+//! the child's bounds, maintained in O(1) per fixing) discards children
+//! before any pivoting. After branching, the worker *plunges*: it keeps
+//! one child and solves it immediately on the same engine, so the warm
+//! solve is a dive (shift the bounds in place, dual re-optimize) rather
+//! than a basis refactorization; the sibling joins the best-first heap.
+//! Node exploration can optionally run on the `soc-pool` work-stealing
+//! pool; the sequential mode stays the default and the deterministic
+//! differential oracle.
+//!
+//! This reproduces — and now accelerates — the behaviour the paper
+//! observed with its off-the-shelf solver: "carefully designed branch
+//! and bound algorithms can efficiently solve problems of moderate size"
+//! (§VI), degrading for long query logs.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtOrd};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use crate::model::{LpStatus, MipOptions, MipSolution, Model, Sense, SolveError};
-use crate::simplex;
+use crate::model::{LpStatus, MipOptions, MipSolution, Model, Sense, SolveError, SolveStats};
+use crate::simplex::{self, Engine, EngineLp, Snapshot};
 
 struct Node {
     /// Fixed binaries: (var, lower, upper) with lower == upper.
     fixings: Vec<(usize, f64, f64)>,
-    /// LP bound of the *parent* (optimistic estimate), in max-space.
+    /// Optimistic estimate in max-space: min(parent LP bound, box bound).
     bound: f64,
+    /// Box relaxation of the objective under this node's bounds
+    /// (max-space); maintained incrementally from the parent.
+    box_bound: f64,
+    /// Nearest ancestor's optimal basis, for warm LP restarts.
+    snapshot: Option<Arc<Snapshot>>,
+    /// Variable fixed to create this node (`usize::MAX` at the root).
+    branch_var: usize,
+    /// Whether `branch_var` was fixed to 1.
+    branch_up: bool,
+    /// The parent's LP bound (max-space), for pseudocost updates.
+    parent_lp: f64,
 }
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound
+        self.bound.total_cmp(&other.bound) == Ordering::Equal
     }
 }
 impl Eq for Node {}
@@ -33,9 +59,10 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.bound
-            .partial_cmp(&other.bound)
-            .unwrap_or(Ordering::Equal)
+        // total_cmp: a NaN bound (numerically failed LP) orders *above*
+        // +inf instead of scrambling the heap; `can_improve` then rejects
+        // it at pop time, so the node is discarded rather than searched.
+        self.bound.total_cmp(&other.bound)
     }
 }
 
@@ -46,6 +73,340 @@ fn can_improve(bound: f64, incumbent: f64, opts: &MipOptions) -> bool {
         (bound + 1e-6).floor() > incumbent + 1e-9
     } else {
         bound > incumbent + 1e-9
+    }
+}
+
+/// Per-variable branching history: average LP-bound degradation observed
+/// when fixing the variable up (to 1) or down (to 0). Uninitialized
+/// directions fall back to the global average, then to fractionality.
+struct Pseudocosts {
+    sum: [Vec<f64>; 2],
+    cnt: [Vec<u32>; 2],
+}
+
+impl Pseudocosts {
+    fn new(n: usize) -> Self {
+        Self {
+            sum: [vec![0.0; n], vec![0.0; n]],
+            cnt: [vec![0; n], vec![0; n]],
+        }
+    }
+
+    fn record(&mut self, j: usize, up: bool, degradation: f64) {
+        let d = usize::from(up);
+        self.sum[d][j] += degradation.max(0.0);
+        self.cnt[d][j] += 1;
+    }
+
+    fn estimate(&self, j: usize, up: bool, fallback: f64) -> f64 {
+        let d = usize::from(up);
+        if self.cnt[d][j] > 0 {
+            self.sum[d][j] / self.cnt[d][j] as f64
+        } else {
+            fallback
+        }
+    }
+
+    fn global_avg(&self, up: bool) -> f64 {
+        let d = usize::from(up);
+        let total: u32 = self.cnt[d].iter().sum();
+        if total == 0 {
+            1.0
+        } else {
+            self.sum[d].iter().sum::<f64>() / total as f64
+        }
+    }
+
+    /// Product score (larger = branch here): each factor is the expected
+    /// bound degradation of one child, floored so an uninformative
+    /// direction cannot zero the product.
+    fn score(&self, j: usize, frac: f64) -> f64 {
+        let down = self.estimate(j, false, self.global_avg(false)) * frac;
+        let up = self.estimate(j, true, self.global_avg(true)) * (1.0 - frac);
+        down.max(1e-6) * up.max(1e-6)
+    }
+}
+
+/// State shared by the search workers. Borrowed (not `Arc`ed) into the
+/// scoped pool threads; the sequential mode runs the same worker loop
+/// inline on the calling thread.
+struct Search<'a> {
+    model: &'a Model,
+    opts: &'a MipOptions,
+    int_vars: &'a [usize],
+    /// Objective coefficients in max-space (`sign * c`).
+    obj_max: &'a [f64],
+    heap: Mutex<BinaryHeap<Node>>,
+    /// Incumbent values; objective lives in `best_bits` for lock-free
+    /// bound checks.
+    incumbent: Mutex<Option<Vec<f64>>>,
+    /// f64 bits of the incumbent objective (max-space); NEG_INFINITY
+    /// when no incumbent exists yet.
+    best_bits: AtomicU64,
+    nodes: AtomicUsize,
+    /// Workers currently holding a popped node (incremented under the
+    /// heap lock, decremented only after the node's children are pushed
+    /// — the termination invariant).
+    active: AtomicUsize,
+    stop: AtomicBool,
+    error: Mutex<Option<SolveError>>,
+    pseudo: Mutex<Pseudocosts>,
+    lp_pivots: AtomicUsize,
+    dual_pivots: AtomicUsize,
+    warm_solves: AtomicUsize,
+    cold_solves: AtomicUsize,
+    warm_failures: AtomicUsize,
+    pre_bound_pruned: AtomicUsize,
+    deadline: Option<Instant>,
+}
+
+impl Search<'_> {
+    fn best(&self) -> f64 {
+        f64::from_bits(self.best_bits.load(AtOrd::SeqCst))
+    }
+
+    fn try_improve(&self, obj_max: f64, values: Vec<f64>) {
+        let mut guard = self.incumbent.lock().expect("incumbent poisoned");
+        if guard.is_none() || obj_max > self.best() + 1e-9 {
+            *guard = Some(values);
+            self.best_bits.store(obj_max.to_bits(), AtOrd::SeqCst);
+        }
+    }
+
+    fn push_back(&self, node: Node) {
+        self.heap.lock().expect("heap poisoned").push(node);
+    }
+
+    /// The box relaxation contribution of variable `j` under its model
+    /// bounds (max-space): the best the objective term can do on its own.
+    fn relaxed_contrib(&self, j: usize) -> f64 {
+        let c = self.obj_max[j];
+        let v = &self.model.vars[j];
+        if c > 0.0 {
+            c * v.upper
+        } else {
+            c * v.lower
+        }
+    }
+
+    /// Solves one node's LP: warm from the nearest ancestor snapshot when
+    /// enabled, cold in the engine layout otherwise, standalone build as
+    /// the last resort (node bounds the fixed layout cannot express).
+    fn solve_node_lp(&self, engine: &mut Engine, node: &Node) -> Result<EngineLp, SolveError> {
+        let fixings = (!node.fixings.is_empty()).then_some(node.fixings.as_slice());
+        if self.opts.warm_lp {
+            if let Some(snap) = &node.snapshot {
+                if let Some(res) = engine.solve_warm(snap, fixings) {
+                    self.warm_solves.fetch_add(1, AtOrd::Relaxed);
+                    return res;
+                }
+                self.warm_failures.fetch_add(1, AtOrd::Relaxed);
+            }
+        }
+        self.cold_solves.fetch_add(1, AtOrd::Relaxed);
+        if let Some(res) = engine.solve_cold(fixings) {
+            return res;
+        }
+        let lp = simplex::solve_model(self.model, fixings)?;
+        Ok(EngineLp {
+            status: lp.status,
+            objective: lp.objective,
+            values: lp.values,
+            pivots: 0,
+            dual_pivots: 0,
+            snapshot: None,
+        })
+    }
+
+    /// Processes one popped node: limit checks, LP solve, pseudocost
+    /// update, incumbent handling, branching. Returns the child to
+    /// *plunge* into — the worker solves it next on the same engine, so
+    /// the child's parent snapshot matches the live tableau and the
+    /// warm solve takes the O(bound-change) dive path instead of a full
+    /// refactorization. The sibling goes to the heap as usual.
+    fn process(&self, node: Node, engine: &mut Engine) -> Result<Option<Node>, SolveError> {
+        let to_max = |obj: f64| match self.model.sense {
+            Sense::Maximize => obj,
+            Sense::Minimize => -obj,
+        };
+        if self.nodes.load(AtOrd::SeqCst) >= self.opts.max_nodes
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            // Keep the node in the heap so `proven_optimal` sees it.
+            self.stop.store(true, AtOrd::SeqCst);
+            self.push_back(node);
+            return Ok(None);
+        }
+        let best = self.best();
+        if !can_improve(node.bound, best, self.opts) {
+            return Ok(None);
+        }
+        if self.opts.rel_gap > 0.0
+            && best.is_finite()
+            && node.bound - best <= self.opts.rel_gap * best.abs().max(1.0)
+        {
+            self.stop.store(true, AtOrd::SeqCst);
+            self.push_back(node);
+            return Ok(None);
+        }
+        self.nodes.fetch_add(1, AtOrd::SeqCst);
+
+        let lp = self.solve_node_lp(engine, &node)?;
+        self.lp_pivots.fetch_add(lp.pivots, AtOrd::Relaxed);
+        self.dual_pivots.fetch_add(lp.dual_pivots, AtOrd::Relaxed);
+        match lp.status {
+            LpStatus::Infeasible => return Ok(None),
+            LpStatus::Unbounded => return Err(SolveError::Unbounded),
+            LpStatus::Optimal => {}
+        }
+        let bound = to_max(lp.objective);
+        if node.branch_var != usize::MAX && node.parent_lp.is_finite() {
+            self.pseudo.lock().expect("pseudocosts poisoned").record(
+                node.branch_var,
+                node.branch_up,
+                node.parent_lp - bound,
+            );
+        }
+        if !can_improve(bound, self.best(), self.opts) {
+            return Ok(None);
+        }
+
+        let fractional: Vec<(usize, f64)> = self
+            .int_vars
+            .iter()
+            .copied()
+            .map(|j| (j, lp.values[j]))
+            .filter(|&(_, x)| (x - x.round()).abs() > self.opts.int_tol)
+            .collect();
+
+        if fractional.is_empty() {
+            // Integral: candidate incumbent.
+            let mut vals = lp.values;
+            for &j in self.int_vars {
+                vals[j] = vals[j].round();
+            }
+            if self.model.is_feasible(&vals, 1e-6) {
+                let obj = to_max(self.model.objective_value(&vals));
+                self.try_improve(obj, vals);
+            }
+            return Ok(None);
+        }
+
+        // Rounding heuristic: try the nearest-integer point once per
+        // node; cheap and often supplies an early incumbent.
+        let mut rounded = lp.values.clone();
+        for &j in self.int_vars {
+            rounded[j] = rounded[j].round();
+        }
+        if self.model.is_feasible(&rounded, 1e-6) {
+            let obj = to_max(self.model.objective_value(&rounded));
+            self.try_improve(obj, rounded);
+        }
+
+        // Branch by pseudocost product score; ties break on the smallest
+        // index, so the sequential search is deterministic.
+        let branch = {
+            let pseudo = self.pseudo.lock().expect("pseudocosts poisoned");
+            fractional
+                .iter()
+                .map(|&(j, x)| (j, pseudo.score(j, (x - x.floor()).clamp(0.0, 1.0))))
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(j, _)| j)
+                .expect("fractional set is nonempty")
+        };
+        let child_snapshot = lp.snapshot.map(Arc::new).or_else(|| node.snapshot.clone());
+        let mut plunge: Option<Node> = None;
+        for (value, up) in [(0.0, false), (1.0, true)] {
+            // O(1) box-bound maintenance: replace j's free-range term by
+            // its fixed value.
+            let child_box =
+                node.box_bound - self.relaxed_contrib(branch) + self.obj_max[branch] * value;
+            let child_bound = bound.min(child_box);
+            if !can_improve(child_bound, self.best(), self.opts) {
+                self.pre_bound_pruned.fetch_add(1, AtOrd::Relaxed);
+                continue;
+            }
+            let mut fixings = node.fixings.clone();
+            fixings.push((branch, value, value));
+            let child = Node {
+                fixings,
+                bound: child_bound,
+                box_bound: child_box,
+                snapshot: child_snapshot.clone(),
+                branch_var: branch,
+                branch_up: up,
+                parent_lp: bound,
+            };
+            // Keep the higher-bound child for the plunge (ties prefer the
+            // up-fixing, which tends straight to an incumbent); the
+            // sibling joins the best-first heap.
+            match &plunge {
+                Some(kept) if kept.bound > child.bound => self.push_back(child),
+                _ => {
+                    if let Some(displaced) = plunge.replace(child) {
+                        self.push_back(displaced);
+                    }
+                }
+            }
+        }
+        Ok(plunge)
+    }
+
+    /// Worker loop: pop → process → repeat, terminating once the heap is
+    /// empty with no node in flight anywhere.
+    fn worker(&self) {
+        let mut engine = Engine::new(self.model);
+        loop {
+            if self.stop.load(AtOrd::SeqCst) {
+                break;
+            }
+            let node = {
+                let mut heap = self.heap.lock().expect("heap poisoned");
+                let n = heap.pop();
+                if n.is_some() {
+                    // Claimed under the lock: `active` can never read 0
+                    // while work is in flight.
+                    self.active.fetch_add(1, AtOrd::SeqCst);
+                }
+                n
+            };
+            let Some(node) = node else {
+                let heap = self.heap.lock().expect("heap poisoned");
+                if heap.is_empty() && self.active.load(AtOrd::SeqCst) == 0 {
+                    break;
+                }
+                drop(heap);
+                std::thread::yield_now();
+                continue;
+            };
+            // Plunge: chase the returned child on the same engine while
+            // one exists. The live tableau is the child's parent basis,
+            // so each step is a dive (bound shift + dual re-optimize),
+            // not a refactorization. `active` stays held for the whole
+            // chain, preserving the termination invariant.
+            let mut result = Ok(());
+            let mut current = Some(node);
+            while let Some(n) = current {
+                if self.stop.load(AtOrd::SeqCst) {
+                    self.push_back(n);
+                    break;
+                }
+                match self.process(n, &mut engine) {
+                    Ok(next) => current = next,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            self.active.fetch_sub(1, AtOrd::SeqCst);
+            if let Err(e) = result {
+                let mut err = self.error.lock().expect("error slot poisoned");
+                err.get_or_insert(e);
+                self.stop.store(true, AtOrd::SeqCst);
+                break;
+            }
+        }
     }
 }
 
@@ -63,109 +424,101 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<MipSolution, Sol
         .filter(|(_, v)| v.integer)
         .map(|(j, _)| j)
         .collect();
+    let sign = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let obj_max: Vec<f64> = model.objective.iter().map(|c| sign * c).collect();
+
+    let search = Search {
+        model,
+        opts,
+        int_vars: &int_vars,
+        obj_max: &obj_max,
+        heap: Mutex::new(BinaryHeap::new()),
+        incumbent: Mutex::new(None),
+        best_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        nodes: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        error: Mutex::new(None),
+        pseudo: Mutex::new(Pseudocosts::new(model.num_vars())),
+        lp_pivots: AtomicUsize::new(0),
+        dual_pivots: AtomicUsize::new(0),
+        warm_solves: AtomicUsize::new(0),
+        cold_solves: AtomicUsize::new(0),
+        warm_failures: AtomicUsize::new(0),
+        pre_bound_pruned: AtomicUsize::new(0),
+        deadline: opts.time_limit.map(|d| Instant::now() + d),
+    };
 
     // Warm start: accept a caller-provided feasible point as the first
     // incumbent so pruning bites from the root node.
-    let mut incumbent: Option<(f64, Vec<f64>)> = None; // in max-space
     if let Some(start) = &opts.initial_solution {
         if model.is_feasible(start, 1e-6) {
             let mut vals = start.clone();
             for &j in &int_vars {
                 vals[j] = vals[j].round();
             }
-            incumbent = Some((to_max(model.objective_value(&vals)), vals));
+            let obj = to_max(model.objective_value(&vals));
+            search.try_improve(obj, vals);
         }
     }
-    let mut nodes = 0usize;
-    let mut heap = BinaryHeap::new();
-    heap.push(Node {
+
+    // Root box bound: each variable contributes its best term in
+    // isolation; children maintain this in O(1) per fixing.
+    let root_box: f64 = (0..model.num_vars())
+        .map(|j| search.relaxed_contrib(j))
+        .sum();
+    search.push_back(Node {
         fixings: Vec::new(),
-        bound: f64::INFINITY,
+        bound: root_box,
+        box_bound: root_box,
+        snapshot: None,
+        branch_var: usize::MAX,
+        branch_up: false,
+        parent_lp: f64::INFINITY,
     });
 
-    while let Some(node) = heap.pop() {
-        if nodes >= opts.max_nodes {
-            break;
-        }
-        if let Some((best, _)) = &incumbent {
-            if !can_improve(node.bound, *best, opts) {
-                continue; // pruned by a bound computed before incumbent improved
-            }
-        }
-        nodes += 1;
-
-        let lp = simplex::solve_model(model, Some(&node.fixings))?;
-        match lp.status {
-            LpStatus::Infeasible => continue,
-            LpStatus::Unbounded => return Err(SolveError::Unbounded),
-            LpStatus::Optimal => {}
-        }
-        let bound = to_max(lp.objective);
-        if let Some((best, _)) = &incumbent {
-            if !can_improve(bound, *best, opts) {
-                continue;
-            }
-        }
-
-        // Most fractional binary.
-        let frac = int_vars
-            .iter()
-            .copied()
-            .map(|j| (j, (lp.values[j] - lp.values[j].round()).abs()))
-            .filter(|&(_, f)| f > opts.int_tol)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
-
-        match frac {
-            None => {
-                // Integral: candidate incumbent.
-                let mut vals = lp.values.clone();
-                for &j in &int_vars {
-                    vals[j] = vals[j].round();
-                }
-                if model.is_feasible(&vals, 1e-6)
-                    && incumbent
-                        .as_ref()
-                        .is_none_or(|(best, _)| bound > *best + 1e-9)
-                {
-                    incumbent = Some((to_max(model.objective_value(&vals)), vals));
-                }
-            }
-            Some((j, _)) => {
-                // Rounding heuristic: try the nearest-integer point once per
-                // node; cheap and often supplies an early incumbent.
-                let mut rounded = lp.values.clone();
-                for &k in &int_vars {
-                    rounded[k] = rounded[k].round();
-                }
-                if model.is_feasible(&rounded, 1e-6) {
-                    let v = to_max(model.objective_value(&rounded));
-                    if incumbent.as_ref().is_none_or(|(best, _)| v > *best + 1e-9) {
-                        incumbent = Some((v, rounded));
-                    }
-                }
-                for fix in [0.0, 1.0] {
-                    let mut fixings = node.fixings.clone();
-                    fixings.push((j, fix, fix));
-                    heap.push(Node { fixings, bound });
-                }
-            }
-        }
+    let threads = opts.threads.max(1);
+    if threads == 1 {
+        search.worker();
+    } else {
+        soc_pool::Pool::new(threads).map_indexed(threads, |_| search.worker());
     }
 
+    if let Some(e) = search.error.lock().expect("error slot poisoned").take() {
+        return Err(e);
+    }
+
+    let nodes = search.nodes.load(AtOrd::SeqCst);
+    let heap = search.heap.into_inner().expect("heap poisoned");
+    let incumbent = search.incumbent.into_inner().expect("incumbent poisoned");
+    let best = f64::from_bits(search.best_bits.load(AtOrd::SeqCst));
     let proven_optimal = heap.is_empty()
-        || incumbent
-            .as_ref()
-            .is_some_and(|(best, _)| heap.iter().all(|n| !can_improve(n.bound, *best, opts)));
+        || (incumbent.is_some() && heap.iter().all(|n| !can_improve(n.bound, best, opts)));
+    let stats = SolveStats {
+        nodes,
+        lp_pivots: search.lp_pivots.load(AtOrd::Relaxed),
+        dual_pivots: search.dual_pivots.load(AtOrd::Relaxed),
+        warm_solves: search.warm_solves.load(AtOrd::Relaxed),
+        cold_solves: search.cold_solves.load(AtOrd::Relaxed),
+        warm_failures: search.warm_failures.load(AtOrd::Relaxed),
+        pre_bound_pruned: search.pre_bound_pruned.load(AtOrd::Relaxed),
+        presolved_vars: 0,
+        threads,
+    };
 
     match incumbent {
-        Some((best, vals)) => Ok(MipSolution {
+        Some(values) => Ok(MipSolution {
             objective: from_max(best),
-            values: vals,
+            values,
             nodes,
             proven_optimal,
+            stats,
         }),
         None => {
-            if nodes >= opts.max_nodes {
+            if search.stop.load(AtOrd::SeqCst) || nodes >= opts.max_nodes {
                 Err(SolveError::NodeLimitWithoutIncumbent)
             } else {
                 Err(SolveError::Infeasible)
@@ -292,5 +645,124 @@ mod tests {
         // Retained attributes must be {0,1,3}.
         let retained: Vec<usize> = (0..6).filter(|&j| s.values[j] > 0.5).collect();
         assert_eq!(retained, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn cold_and_warm_agree_and_report_stats() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10).map(|_| m.add_binary()).collect();
+        m.set_objective(LinExpr::from_terms(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (1.0 + (i % 4) as f64, v)),
+        ));
+        m.add_constraint(
+            LinExpr::from_terms(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (1.0 + (i % 3) as f64, v)),
+            ),
+            Cmp::Le,
+            9.0,
+        );
+        m.add_constraint(LinExpr::sum(vars.iter().copied()), Cmp::Le, 6.0);
+        let warm = m
+            .solve_mip_no_presolve(&MipOptions::default())
+            .expect("warm solve");
+        let cold = m
+            .solve_mip_no_presolve(&MipOptions {
+                warm_lp: false,
+                ..Default::default()
+            })
+            .expect("cold solve");
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(warm.proven_optimal && cold.proven_optimal);
+        assert_eq!(cold.stats.warm_solves, 0);
+        if warm.stats.nodes > 1 {
+            assert!(warm.stats.warm_solves > 0, "stats: {:?}", warm.stats);
+        }
+        assert!(warm.stats.lp_pivots > 0);
+    }
+
+    #[test]
+    fn node_limit_yields_incumbent_without_proof() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|_| m.add_binary()).collect();
+        m.set_objective(LinExpr::from_terms(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (3.0 + (i % 5) as f64, v)),
+        ));
+        m.add_constraint(
+            LinExpr::from_terms(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (2.0 + (i % 4) as f64, v)),
+            ),
+            Cmp::Le,
+            11.0,
+        );
+        let opts = MipOptions {
+            max_nodes: 2,
+            initial_solution: Some(vec![0.0; 12]),
+            ..Default::default()
+        };
+        let s = m.solve_mip_no_presolve(&opts).expect("incumbent exists");
+        assert!(!s.proven_optimal);
+        assert!(s.nodes <= 2);
+    }
+
+    #[test]
+    fn parallel_mode_matches_sequential_objective() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..14).map(|_| m.add_binary()).collect();
+        m.set_objective(LinExpr::from_terms(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (2.0 + (i % 6) as f64, v)),
+        ));
+        m.add_constraint(
+            LinExpr::from_terms(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (1.0 + (i % 4) as f64, v)),
+            ),
+            Cmp::Le,
+            13.0,
+        );
+        m.add_constraint(LinExpr::sum(vars.iter().copied()), Cmp::Le, 8.0);
+        let seq = m.solve_mip_no_presolve(&MipOptions::default()).unwrap();
+        for threads in [2, 4] {
+            let par = m
+                .solve_mip_no_presolve(&MipOptions {
+                    threads,
+                    ..Default::default()
+                })
+                .unwrap();
+            assert!(
+                (par.objective - seq.objective).abs() < 1e-6,
+                "threads {threads}: {} vs {}",
+                par.objective,
+                seq.objective
+            );
+            assert!(par.proven_optimal);
+            assert_eq!(par.stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn time_limit_is_honoured() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..16).map(|_| m.add_binary()).collect();
+        m.set_objective(LinExpr::sum(vars.iter().copied()));
+        m.add_constraint(LinExpr::sum(vars.iter().copied()), Cmp::Le, 9.0);
+        let opts = MipOptions {
+            time_limit: Some(std::time::Duration::ZERO),
+            initial_solution: Some(vec![0.0; 16]),
+            ..Default::default()
+        };
+        let s = m.solve_mip_no_presolve(&opts).expect("incumbent exists");
+        assert_eq!(s.stats.nodes, 0);
+        assert!(!s.proven_optimal);
     }
 }

@@ -31,6 +31,7 @@ mod presolve;
 mod simplex;
 
 pub use model::{
-    Cmp, LinExpr, LpSolution, LpStatus, MipOptions, MipSolution, Model, Sense, SolveError, VarId,
+    Cmp, LinExpr, LpSolution, LpStatus, MipOptions, MipSolution, Model, Sense, SolveError,
+    SolveStats, VarId,
 };
 pub use presolve::{presolve, presolve_stats, PresolveMap, Presolved};

@@ -204,6 +204,12 @@ impl Model {
     pub fn solve_mip(&self, opts: &MipOptions) -> Result<MipSolution, SolveError> {
         match crate::presolve::presolve(self) {
             crate::presolve::Presolved::Infeasible => Err(SolveError::Infeasible),
+            // Nothing eliminated: the reduced model is this model (same
+            // variables, same order), so skip the projection/expansion
+            // round-trips and solve in place.
+            crate::presolve::Presolved::Reduced { map, .. } if map.is_identity() => {
+                crate::branch_bound::solve(self, opts)
+            }
             crate::presolve::Presolved::Reduced { reduced, map } => {
                 let mut inner_opts = opts.clone();
                 inner_opts.initial_solution = opts
@@ -213,11 +219,14 @@ impl Model {
                     .map(|ws| map.project(ws));
                 let sol = crate::branch_bound::solve(&reduced, &inner_opts)?;
                 let values = map.expand(&sol.values);
+                let mut stats = sol.stats;
+                stats.presolved_vars = map.eliminated();
                 Ok(MipSolution {
                     objective: self.objective_value(&values),
                     values,
                     nodes: sol.nodes,
                     proven_optimal: sol.proven_optimal,
+                    stats,
                 })
             }
         }
@@ -278,6 +287,22 @@ pub struct MipOptions {
     /// heuristic) used to prune from the first node. Ignored if
     /// infeasible or of the wrong arity.
     pub initial_solution: Option<Vec<f64>>,
+    /// Wall-clock budget for the search; `None` = unlimited. When it
+    /// expires the best incumbent is returned with
+    /// `proven_optimal = false`.
+    pub time_limit: Option<std::time::Duration>,
+    /// Stop once `(best bound − incumbent) <= rel_gap · max(1, |incumbent|)`
+    /// (in maximization space). `0.0` proves optimality.
+    pub rel_gap: f64,
+    /// Worker threads for node exploration. `1` (the default) is the
+    /// deterministic sequential search and the differential oracle;
+    /// larger values explore nodes concurrently on a work pool (same
+    /// objective, possibly a different optimal point and node count).
+    pub threads: usize,
+    /// Re-optimize each node's LP from its parent's basis with dual
+    /// simplex instead of a cold two-phase solve. On by default; off is
+    /// the cold baseline used for differential testing and benchmarks.
+    pub warm_lp: bool,
 }
 
 impl Default for MipOptions {
@@ -287,6 +312,57 @@ impl Default for MipOptions {
             int_tol: 1e-6,
             integral_objective: false,
             initial_solution: None,
+            time_limit: None,
+            rel_gap: 0.0,
+            threads: 1,
+            warm_lp: true,
+        }
+    }
+}
+
+/// Counters describing a branch-and-bound run (warm-start efficacy and
+/// LP effort), reported through [`MipSolution::stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolveStats {
+    /// Nodes whose LP relaxation was solved.
+    pub nodes: usize,
+    /// Total simplex basis changes, including warm-restore
+    /// refactorization steps and primal/dual pivots.
+    pub lp_pivots: usize,
+    /// Dual-simplex pivots (subset of `lp_pivots`).
+    pub dual_pivots: usize,
+    /// Node LPs re-optimized from a parent basis snapshot.
+    pub warm_solves: usize,
+    /// Node LPs solved by a cold two-phase simplex (root + fallbacks).
+    pub cold_solves: usize,
+    /// Warm restores that failed and fell back to a cold solve.
+    pub warm_failures: usize,
+    /// Children discarded by the combinatorial pre-bound before any
+    /// pivoting.
+    pub pre_bound_pruned: usize,
+    /// Variables eliminated by presolve before the search.
+    pub presolved_vars: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SolveStats {
+    /// Fraction of node LPs served from a parent basis.
+    pub fn warm_hit_rate(&self) -> f64 {
+        let solved = self.warm_solves + self.cold_solves;
+        if solved == 0 {
+            0.0
+        } else {
+            self.warm_solves as f64 / solved as f64
+        }
+    }
+
+    /// Mean LP pivots per explored node.
+    pub fn pivots_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.lp_pivots as f64 / self.nodes as f64
         }
     }
 }
@@ -322,9 +398,11 @@ pub struct MipSolution {
     pub values: Vec<f64>,
     /// Nodes explored by branch-and-bound.
     pub nodes: usize,
-    /// True if the search completed (false = stopped at `max_nodes`, the
-    /// solution is the best incumbent but not proven optimal).
+    /// True if the search completed (false = stopped at a node/time/gap
+    /// limit; the solution is the best incumbent but not proven optimal).
     pub proven_optimal: bool,
+    /// Solver counters (warm-start hit rate, LP pivots, pruning).
+    pub stats: SolveStats,
 }
 
 /// Errors reported by the solvers.

@@ -80,6 +80,16 @@ impl PresolveMap {
             .filter(|s| matches!(s, VarState::Fixed(_)))
             .count()
     }
+
+    /// True when presolve eliminated nothing, i.e. the reduced model has
+    /// the same variables in the same order and [`expand`]/[`project`]
+    /// are identity maps that callers can skip.
+    ///
+    /// [`expand`]: PresolveMap::expand
+    /// [`project`]: PresolveMap::project
+    pub fn is_identity(&self) -> bool {
+        self.eliminated() == 0
+    }
 }
 
 /// Runs the reduction loop on `model`.

@@ -53,6 +53,10 @@ struct Tableau {
     banned: Vec<bool>,
     iterations: usize,
     stall: usize,
+    /// Basis changes performed (primal + dual + refactorization steps).
+    pivots: usize,
+    /// Dual-simplex subset of `pivots`.
+    dual_pivots: usize,
     /// Variable that left the basis in the most recent pivot; the
     /// upper-bound leaving case needs to flip it right after the pivot.
     basis_prev: usize,
@@ -61,6 +65,14 @@ struct Tableau {
 enum Step {
     Optimal,
     Unbounded,
+    Continue,
+}
+
+enum DualStep {
+    /// Primal feasibility reached.
+    Feasible,
+    /// A row proves the LP infeasible under the current bounds.
+    Infeasible,
     Continue,
 }
 
@@ -226,6 +238,114 @@ impl Tableau {
         self.in_basis[l] = None;
         self.in_basis[e] = Some(r);
         self.basis_prev = l;
+        self.pivots += 1;
+    }
+
+    /// One dual-simplex iteration: pick the most primal-infeasible basic
+    /// variable to leave, then the entering column by the dual ratio test
+    /// `min cbar_j / a_rj` over `a_rj < 0` (which preserves `cbar <= 0`,
+    /// i.e. dual feasibility for maximization). A basic variable *above*
+    /// its upper bound is first reduced to the below-lower case by
+    /// flipping its column (`x = u − t`) and negating its row.
+    fn dual_step(&mut self) -> DualStep {
+        let bland = self.stall >= STALL_LIMIT;
+        // Leaving row: largest violation (Bland: smallest basic index).
+        let mut worst: Option<(usize, f64, bool)> = None;
+        for i in 0..self.rows.len() {
+            let b = self.basis[i];
+            let (viol, above) = if self.rhs[i] < -EPS {
+                (-self.rhs[i], false)
+            } else if self.range[b].is_finite() && self.rhs[i] > self.range[b] + EPS {
+                (self.rhs[i] - self.range[b], true)
+            } else {
+                continue;
+            };
+            let better = match worst {
+                None => true,
+                Some((r, w, _)) => {
+                    if bland {
+                        self.basis[i] < self.basis[r]
+                    } else {
+                        viol > w
+                    }
+                }
+            };
+            if better {
+                worst = Some((i, viol, above));
+            }
+        }
+        let Some((r, _, above)) = worst else {
+            return DualStep::Feasible;
+        };
+        if above {
+            // Flip the basic column: it is the unit vector of row `r`, so
+            // only that row changes (`rhs[r] -= u`, coefficient −1); then
+            // negate the row to restore the +1 basic entry. The flipped
+            // basic now sits below its lower bound: `rhs[r] = u − old < 0`.
+            let b = self.basis[r];
+            self.flip(b);
+            for v in self.rows[r].iter_mut() {
+                *v = -*v;
+            }
+            self.rhs[r] = -self.rhs[r];
+        }
+        // Dual ratio test on row r (rhs[r] < 0).
+        let mut enter: Option<(usize, f64)> = None;
+        for j in 0..self.ncols() {
+            if self.banned[j] || self.in_basis[j].is_some() || self.range[j] <= EPS {
+                continue;
+            }
+            let a = self.rows[r][j];
+            if a < -PIVOT_TOL {
+                let ratio = self.cbar[j] / a;
+                let better = match enter {
+                    None => true,
+                    Some((bj, br)) => {
+                        if bland {
+                            ratio < br - EPS || (ratio < br + EPS && j < bj)
+                        } else {
+                            ratio < br - EPS
+                                || (ratio < br + EPS && a.abs() > self.rows[r][bj].abs())
+                        }
+                    }
+                };
+                if better {
+                    enter = Some((j, ratio));
+                }
+            }
+        }
+        let Some((e, _)) = enter else {
+            // Row r reads `x_B(r) = rhs − Σ a_rj x_j` over movable
+            // nonbasics with `a_rj >= 0` and `x_j >= 0`: the basic can
+            // never reach its lower bound, so the LP is infeasible.
+            return DualStep::Infeasible;
+        };
+        self.pivot(r, e);
+        self.dual_pivots += 1;
+        self.iterations += 1;
+        DualStep::Continue
+    }
+
+    /// Runs dual simplex until primal feasibility (`Optimal`) or a proof
+    /// of infeasibility.
+    fn dual_optimize(&mut self, max_iters: usize) -> Result<LpStatus, SolveError> {
+        loop {
+            if self.iterations > max_iters {
+                return Err(SolveError::IterationLimit);
+            }
+            let before = self.zval;
+            match self.dual_step() {
+                DualStep::Feasible => return Ok(LpStatus::Optimal),
+                DualStep::Infeasible => return Ok(LpStatus::Infeasible),
+                DualStep::Continue => {
+                    if (self.zval - before).abs() > EPS {
+                        self.stall = 0;
+                    } else {
+                        self.stall += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Runs simplex to optimality on the current objective.
@@ -430,6 +550,8 @@ pub(crate) fn solve_model(
         banned: vec![false; total],
         iterations: 0,
         stall: 0,
+        pivots: 0,
+        dual_pivots: 0,
         basis_prev: 0,
     };
 
@@ -499,6 +621,578 @@ pub(crate) fn solve_model(
         objective,
         values,
     })
+}
+
+/// Compact record of an optimal basis: the basic column of each row plus
+/// the set of columns currently substituted `x = u − t` (nonbasic-at-upper
+/// bookkeeping). Together with the pristine constraint matrix and a bound
+/// vector this is enough to reconstruct the full tableau by Gaussian
+/// refactorization — no factor updates, no per-node tableau retention.
+#[derive(Clone, Debug)]
+pub(crate) struct Snapshot {
+    basis: Vec<usize>,
+    flipped: Vec<bool>,
+}
+
+/// Result of one engine LP solve.
+pub(crate) struct EngineLp {
+    pub status: LpStatus,
+    /// Objective in the original model space (sense sign applied back).
+    pub objective: f64,
+    /// Structural variable values in the original space.
+    pub values: Vec<f64>,
+    /// Basis changes this solve (refactorization + primal + dual).
+    pub pivots: usize,
+    /// Dual-simplex subset of `pivots`.
+    pub dual_pivots: usize,
+    /// Optimal basis for warm-starting children (`None` unless optimal,
+    /// or when an artificial is stuck basic in a redundant row).
+    pub snapshot: Option<Snapshot>,
+}
+
+impl EngineLp {
+    fn infeasible() -> Self {
+        Self {
+            status: LpStatus::Infeasible,
+            objective: 0.0,
+            values: vec![],
+            pivots: 0,
+            dual_pivots: 0,
+            snapshot: None,
+        }
+    }
+}
+
+/// Reusable LP engine for branch-and-bound: the canonical form (columns
+/// `[structural | slacks | artificials]`, `Ge` rows negated into `Le`,
+/// bound shifts *not* baked in) is built once per model, and every node
+/// solve reuses the pristine matrix and the tableau allocations.
+///
+/// Two solve paths:
+/// - [`Engine::solve_cold`]: classic two-phase primal simplex under the
+///   node's bounds (artificial columns are allocated for the rows that
+///   need them at *root* bounds; a node whose shifted rhs turns negative
+///   on a row without one is not representable and returns `None`).
+/// - [`Engine::solve_warm`]: restores a parent [`Snapshot`] under the
+///   child's tightened bounds (flips first — they commute with row
+///   operations — then Gauss-Jordan onto the basis columns), runs dual
+///   simplex to primal feasibility, then a primal cleanup pass. Any
+///   ancestor's optimal basis stays dual feasible for a descendant:
+///   fixings only move bounds, and reduced costs depend only on the
+///   basis and costs.
+pub(crate) struct Engine {
+    sign: f64,
+    nstruct: usize,
+    total: usize,
+    /// Pristine rows, m × total, in `Le`/`Eq` orientation, unshifted.
+    rows0: Vec<Vec<f64>>,
+    rhs0: Vec<f64>,
+    eq_row: Vec<bool>,
+    slack_col: Vec<Option<usize>>,
+    art_col: Vec<Option<usize>>,
+    kind: Vec<VarKind>,
+    /// `sign * objective`, zero-padded to `total`.
+    costs: Vec<f64>,
+    base_lower: Vec<f64>,
+    base_upper: Vec<f64>,
+    max_iters: usize,
+    tab: Tableau,
+    /// Scratch for refactorization row assignment.
+    used_rows: Vec<bool>,
+    /// Whether `tab` still holds the optimal tableau of the last solve
+    /// (basis, flips, and the bounds below). When a child node's parent
+    /// snapshot matches it, [`Engine::solve_warm`] dives: it applies the
+    /// bound deltas to the live tableau in O(m) per changed column and
+    /// skips the matrix copy and refactorization entirely.
+    live: bool,
+    live_lower: Vec<f64>,
+    live_upper: Vec<f64>,
+}
+
+impl Engine {
+    pub(crate) fn new(model: &Model) -> Self {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        let sign = match model.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        let base_lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+        let base_upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+
+        let mut rows0: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rhs0: Vec<f64> = Vec::with_capacity(m);
+        let mut eq_row: Vec<bool> = Vec::with_capacity(m);
+        for c in &model.constraints {
+            let mut dense = vec![0.0; n];
+            for &(j, a) in &c.terms {
+                dense[j as usize] += a;
+            }
+            let (dense, b, eq) = match c.cmp {
+                Cmp::Le => (dense, c.rhs, false),
+                Cmp::Eq => (dense, c.rhs, true),
+                Cmp::Ge => {
+                    let mut d = dense;
+                    for a in d.iter_mut() {
+                        *a = -*a;
+                    }
+                    (d, -c.rhs, false)
+                }
+            };
+            rows0.push(dense);
+            rhs0.push(b);
+            eq_row.push(eq);
+        }
+
+        // Shifted rhs at root bounds decides which rows get artificials.
+        let root_b: Vec<f64> = (0..m)
+            .map(|i| {
+                rhs0[i]
+                    - rows0[i]
+                        .iter()
+                        .zip(&base_lower)
+                        .map(|(a, lo)| a * lo)
+                        .sum::<f64>()
+            })
+            .collect();
+        let mut slack_col: Vec<Option<usize>> = vec![None; m];
+        let mut next = n;
+        let mut kind = vec![VarKind::Structural; n];
+        for (i, eq) in eq_row.iter().enumerate() {
+            if !eq {
+                slack_col[i] = Some(next);
+                kind.push(VarKind::Slack);
+                next += 1;
+            }
+        }
+        let mut art_col: Vec<Option<usize>> = vec![None; m];
+        for i in 0..m {
+            if eq_row[i] || root_b[i] < 0.0 {
+                art_col[i] = Some(next);
+                kind.push(VarKind::Artificial);
+                next += 1;
+            }
+        }
+        let total = next;
+        for (i, row) in rows0.iter_mut().enumerate() {
+            row.resize(total, 0.0);
+            if let Some(sc) = slack_col[i] {
+                row[sc] = 1.0;
+            }
+            if let Some(ac) = art_col[i] {
+                row[ac] = 1.0;
+            }
+        }
+
+        let costs: Vec<f64> = (0..total)
+            .map(|j| {
+                if j < n {
+                    sign * model.objective[j]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let tab = Tableau {
+            rows: vec![vec![0.0; total]; m],
+            rhs: vec![0.0; m],
+            basis: vec![0; m],
+            cbar: vec![0.0; total],
+            zval: 0.0,
+            range: vec![0.0; total],
+            flipped: vec![false; total],
+            in_basis: vec![None; total],
+            kind: kind.clone(),
+            banned: vec![false; total],
+            iterations: 0,
+            stall: 0,
+            pivots: 0,
+            dual_pivots: 0,
+            basis_prev: 0,
+        };
+        Self {
+            sign,
+            nstruct: n,
+            total,
+            rows0,
+            rhs0,
+            eq_row,
+            slack_col,
+            art_col,
+            kind,
+            costs,
+            base_lower,
+            base_upper,
+            max_iters: 200 * (m + total) + 20_000,
+            tab,
+            used_rows: vec![false; m],
+            live: false,
+            live_lower: vec![0.0; n],
+            live_upper: vec![0.0; n],
+        }
+    }
+
+    /// Node bounds = model bounds + overrides; `None` when some override
+    /// crosses (`lo > hi`), i.e. trivially infeasible.
+    fn bounds_with(&self, overrides: Option<&BoundOverrides>) -> Option<(Vec<f64>, Vec<f64>)> {
+        let mut lower = self.base_lower.clone();
+        let mut upper = self.base_upper.clone();
+        if let Some(ovr) = overrides {
+            for &(j, lo, hi) in ovr {
+                lower[j] = lo;
+                upper[j] = hi;
+                if lo > hi {
+                    return None;
+                }
+            }
+        }
+        Some((lower, upper))
+    }
+
+    /// Resets the scratch tableau to the pristine matrix under `lower`/
+    /// `upper`, with artificial ranges set to `art_range` (`INFINITY` for
+    /// a cold phase 1, `0.0` to pin them out of a warm solve).
+    fn reset_tab(&mut self, lower: &[f64], upper: &[f64], art_range: f64) {
+        self.live = false;
+        let m = self.rows0.len();
+        for i in 0..m {
+            self.tab.rows[i].copy_from_slice(&self.rows0[i]);
+            let shift: f64 = self.rows0[i][..self.nstruct]
+                .iter()
+                .zip(lower)
+                .map(|(a, lo)| a * lo)
+                .sum();
+            self.tab.rhs[i] = self.rhs0[i] - shift;
+        }
+        for j in 0..self.total {
+            self.tab.range[j] = match self.kind[j] {
+                VarKind::Structural => upper[j] - lower[j],
+                VarKind::Slack => f64::INFINITY,
+                VarKind::Artificial => art_range,
+            };
+        }
+        self.tab.flipped.fill(false);
+        self.tab.in_basis.fill(None);
+        self.tab.banned.fill(false);
+        self.tab.cbar.fill(0.0);
+        self.tab.zval = 0.0;
+        self.tab.iterations = 0;
+        self.tab.stall = 0;
+        self.tab.pivots = 0;
+        self.tab.dual_pivots = 0;
+    }
+
+    fn extract(&self, lower: &[f64]) -> EngineLp {
+        let values: Vec<f64> = (0..self.nstruct)
+            .map(|j| self.tab.shifted_value(j) + lower[j])
+            .collect();
+        let obj_const: f64 = self.costs[..self.nstruct]
+            .iter()
+            .zip(lower)
+            .map(|(c, lo)| c * lo)
+            .sum();
+        let clean_basis = self
+            .tab
+            .basis
+            .iter()
+            .all(|&b| self.kind[b] != VarKind::Artificial);
+        EngineLp {
+            status: LpStatus::Optimal,
+            objective: self.sign * (self.tab.zval + obj_const),
+            values,
+            pivots: self.tab.pivots,
+            dual_pivots: self.tab.dual_pivots,
+            snapshot: clean_basis.then(|| Snapshot {
+                basis: self.tab.basis.clone(),
+                flipped: self.tab.flipped.clone(),
+            }),
+        }
+    }
+
+    /// Extracts an optimal solve and, when it produced a usable
+    /// snapshot, marks the tableau live so a child whose parent basis
+    /// matches can dive (incremental bound update, no refactorization).
+    fn finish_optimal(&mut self, lower: &[f64], upper: &[f64]) -> EngineLp {
+        let lp = self.extract(lower);
+        if lp.snapshot.is_some() {
+            self.live = true;
+            self.live_lower.copy_from_slice(lower);
+            self.live_upper.copy_from_slice(upper);
+        }
+        lp
+    }
+
+    fn lp_result(&self, status: LpStatus) -> EngineLp {
+        EngineLp {
+            status,
+            objective: 0.0,
+            values: vec![],
+            pivots: self.tab.pivots,
+            dual_pivots: self.tab.dual_pivots,
+            snapshot: None,
+        }
+    }
+
+    /// Two-phase primal simplex under the node bounds, in the fixed
+    /// column layout. Returns `None` if a row's shifted rhs is negative
+    /// but the layout has no artificial for it (the caller falls back to
+    /// the standalone [`solve_model`], which builds its own layout).
+    pub(crate) fn solve_cold(
+        &mut self,
+        overrides: Option<&BoundOverrides>,
+    ) -> Option<Result<EngineLp, SolveError>> {
+        let Some((lower, upper)) = self.bounds_with(overrides) else {
+            return Some(Ok(EngineLp::infeasible()));
+        };
+        let m = self.rows0.len();
+        // Shifted rhs per row; negative rows must host an artificial.
+        let mut negated = vec![false; m];
+        for (i, flag) in negated.iter_mut().enumerate() {
+            let shift: f64 = self.rows0[i][..self.nstruct]
+                .iter()
+                .zip(&lower)
+                .map(|(a, lo)| a * lo)
+                .sum();
+            let b = self.rhs0[i] - shift;
+            if b < 0.0 {
+                self.art_col[i]?;
+                *flag = true;
+            }
+        }
+        self.reset_tab(&lower, &upper, f64::INFINITY);
+        for (i, &neg) in negated.iter().enumerate() {
+            if neg {
+                for v in self.tab.rows[i].iter_mut() {
+                    *v = -*v;
+                }
+                self.tab.rhs[i] = -self.tab.rhs[i];
+                if let Some(ac) = self.art_col[i] {
+                    self.tab.rows[i][ac] = 1.0; // negation flipped it to −1
+                }
+            }
+        }
+        let mut has_basic_art = false;
+        for (i, &neg) in negated.iter().enumerate() {
+            let b = if self.eq_row[i] || neg {
+                has_basic_art = true;
+                self.art_col[i].expect("eq/negated rows always carry an artificial")
+            } else {
+                self.slack_col[i].expect("inequality rows always carry a slack")
+            };
+            self.tab.basis[i] = b;
+            self.tab.in_basis[b] = Some(i);
+        }
+
+        if has_basic_art {
+            let p1: Vec<f64> = self
+                .kind
+                .iter()
+                .map(|k| if *k == VarKind::Artificial { -1.0 } else { 0.0 })
+                .collect();
+            self.tab.set_objective(&p1);
+            match self.tab.optimize(self.max_iters) {
+                Err(e) => return Some(Err(e)),
+                Ok(status) => {
+                    debug_assert!(status != LpStatus::Unbounded, "phase 1 cannot be unbounded")
+                }
+            }
+            if self.tab.zval < -1e-7 {
+                return Some(Ok(self.lp_result(LpStatus::Infeasible)));
+            }
+            for i in 0..m {
+                let b = self.tab.basis[i];
+                if self.kind[b] == VarKind::Artificial {
+                    let pivot_col = (0..self.total).find(|&j| {
+                        self.kind[j] != VarKind::Artificial
+                            && self.tab.in_basis[j].is_none()
+                            && self.tab.rows[i][j].abs() > 1e-7
+                    });
+                    if let Some(j) = pivot_col {
+                        self.tab.pivot(i, j);
+                    }
+                }
+            }
+        }
+        for j in 0..self.total {
+            if self.kind[j] == VarKind::Artificial {
+                self.tab.banned[j] = true;
+            }
+        }
+
+        let costs = std::mem::take(&mut self.costs);
+        self.tab.set_objective(&costs);
+        self.costs = costs;
+        match self.tab.optimize(self.max_iters) {
+            Err(e) => Some(Err(e)),
+            Ok(LpStatus::Unbounded) => Some(Ok(self.lp_result(LpStatus::Unbounded))),
+            Ok(_) => Some(Ok(self.finish_optimal(&lower, &upper))),
+        }
+    }
+
+    /// Warm solve from an ancestor's optimal basis under tightened node
+    /// bounds: apply the snapshot's flips to the pristine matrix, Gauss-
+    /// Jordan onto its basis columns, then dual simplex (the basis is
+    /// dual feasible by inheritance) followed by a primal cleanup pass.
+    /// Returns `None` when the snapshot cannot be restored (basic
+    /// artificial, singular basis, numerical trouble) — the caller falls
+    /// back to a cold solve.
+    pub(crate) fn solve_warm(
+        &mut self,
+        snap: &Snapshot,
+        overrides: Option<&BoundOverrides>,
+    ) -> Option<Result<EngineLp, SolveError>> {
+        if snap
+            .basis
+            .iter()
+            .any(|&b| self.kind[b] == VarKind::Artificial)
+        {
+            return None;
+        }
+        let Some((lower, upper)) = self.bounds_with(overrides) else {
+            return Some(Ok(EngineLp::infeasible()));
+        };
+        // Dive fast path: the engine's tableau still holds exactly this
+        // snapshot's basis and flips (the common case right after solving
+        // the parent), so the child differs only by bound deltas — apply
+        // them in place and skip the matrix copy and refactorization.
+        if self.live && snap.basis == self.tab.basis && snap.flipped == self.tab.flipped {
+            return self.solve_dive(&lower, &upper);
+        }
+        self.reset_tab(&lower, &upper, 0.0);
+        for j in 0..self.total {
+            if self.kind[j] == VarKind::Artificial {
+                self.tab.banned[j] = true;
+            }
+        }
+        // Flips commute with row operations: apply them on the pristine
+        // matrix, then refactorize. A column flipped in the snapshot must
+        // still have a finite range under the child bounds (fixings only
+        // shrink ranges, so this holds in branch-and-bound).
+        for j in 0..self.total {
+            if snap.flipped[j] {
+                if !self.tab.range[j].is_finite() {
+                    return None;
+                }
+                self.tab.flip(j);
+            }
+        }
+        // Gauss-Jordan onto the snapshot's basis columns with partial
+        // pivoting. The basis matrix is nonsingular independent of bounds
+        // and flips, but refuse on tiny pivots rather than divide by them.
+        self.used_rows.fill(false);
+        for &col in &snap.basis {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, used) in self.used_rows.iter().enumerate() {
+                if !used {
+                    let a = self.tab.rows[i][col].abs();
+                    if best.is_none_or(|(_, b)| a > b) {
+                        best = Some((i, a));
+                    }
+                }
+            }
+            let (r, piv) = best?;
+            if piv < 1e-7 {
+                return None;
+            }
+            self.used_rows[r] = true;
+            let inv = 1.0 / self.tab.rows[r][col];
+            for v in self.tab.rows[r].iter_mut() {
+                *v *= inv;
+            }
+            self.tab.rhs[r] *= inv;
+            let pivot_row = std::mem::take(&mut self.tab.rows[r]);
+            let pivot_rhs = self.tab.rhs[r];
+            for i in 0..self.rows0.len() {
+                if i == r {
+                    continue;
+                }
+                let f = self.tab.rows[i][col];
+                if f != 0.0 {
+                    for (v, p) in self.tab.rows[i].iter_mut().zip(&pivot_row) {
+                        *v -= f * p;
+                    }
+                    self.tab.rows[i][col] = 0.0;
+                    self.tab.rhs[i] -= f * pivot_rhs;
+                }
+            }
+            self.tab.rows[r] = pivot_row;
+            self.tab.basis[r] = col;
+            self.tab.in_basis[col] = Some(r);
+            // Slack basis columns are unit vectors in the pristine matrix
+            // and cost nothing; count only real elimination work.
+            if self.kind[col] == VarKind::Structural {
+                self.tab.pivots += 1;
+            }
+        }
+
+        let costs = std::mem::take(&mut self.costs);
+        self.tab.set_objective(&costs);
+        self.costs = costs;
+        match self.tab.dual_optimize(self.max_iters) {
+            Err(_) => return None, // numerical trouble: retry cold
+            Ok(LpStatus::Infeasible) => return Some(Ok(self.lp_result(LpStatus::Infeasible))),
+            Ok(_) => {}
+        }
+        // Cleanup pass: normally zero pivots; repairs any reduced-cost
+        // drift so the returned basis is genuinely optimal.
+        match self.tab.optimize(self.max_iters) {
+            Err(_) | Ok(LpStatus::Unbounded) => None,
+            Ok(_) => Some(Ok(self.finish_optimal(&lower, &upper))),
+        }
+    }
+
+    /// Re-optimizes the live tableau under new bounds without copying or
+    /// refactorizing. Shifting column `j`'s offset by `d` (the lower
+    /// bound for an unflipped column, minus the upper-bound delta for a
+    /// flipped one, since `x = u − t` there) rewrites every row as
+    /// `rhs_i -= d · a_ij` with the *current* column entries; reduced
+    /// costs depend only on the basis and costs, so `cbar` — and with it
+    /// dual feasibility — is untouched. The objective value is then
+    /// recomputed from the shifted point and dual simplex restores
+    /// primal feasibility.
+    fn solve_dive(&mut self, lower: &[f64], upper: &[f64]) -> Option<Result<EngineLp, SolveError>> {
+        self.live = false;
+        for j in 0..self.nstruct {
+            let (lo0, hi0) = (self.live_lower[j], self.live_upper[j]);
+            let (lo1, hi1) = (lower[j], upper[j]);
+            if lo0 == lo1 && hi0 == hi1 {
+                continue;
+            }
+            let d = if self.tab.flipped[j] {
+                -(hi1 - hi0)
+            } else {
+                lo1 - lo0
+            };
+            if !d.is_finite() {
+                return None; // e.g. an upper bound became infinite
+            }
+            if d != 0.0 {
+                for (row, rhs) in self.tab.rows.iter_mut().zip(self.tab.rhs.iter_mut()) {
+                    let a = row[j];
+                    if a != 0.0 {
+                        *rhs -= d * a;
+                    }
+                }
+            }
+            self.tab.range[j] = hi1 - lo1;
+        }
+        self.tab.zval = (0..self.nstruct)
+            .map(|j| self.costs[j] * self.tab.shifted_value(j))
+            .sum();
+        self.tab.iterations = 0;
+        self.tab.stall = 0;
+        self.tab.pivots = 0;
+        self.tab.dual_pivots = 0;
+        match self.tab.dual_optimize(self.max_iters) {
+            Err(_) => return None, // numerical trouble: retry cold
+            Ok(LpStatus::Infeasible) => return Some(Ok(self.lp_result(LpStatus::Infeasible))),
+            Ok(_) => {}
+        }
+        match self.tab.optimize(self.max_iters) {
+            Err(_) | Ok(LpStatus::Unbounded) => None,
+            Ok(_) => Some(Ok(self.finish_optimal(lower, upper))),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -18,4 +18,7 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> solver smoke bench (release, budgeted node limit)"
+cargo test -q --release --offline -p soc-bench smoke_warm_solver_proves_within_node_budget -- --ignored
+
 echo "CI OK"
