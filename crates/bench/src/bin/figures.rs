@@ -4,17 +4,18 @@
 //!   figures [--quick] [experiment ...]
 //!
 //! Experiments: fig6 fig7 fig8 fig9 fig10 fig11 walk threshold stopping
-//! apriori preprocess gap dedup index miner drift serving ilp all
+//! apriori preprocess gap dedup index miner drift serving ilp obs all
 //! (default: all)
 //!
-//! `serving` and `ilp` additionally write the machine-readable
-//! `BENCH_serving.json` / `BENCH_ilp.json` into the current directory.
+//! `serving`, `ilp`, and `obs` additionally write the machine-readable
+//! `BENCH_serving.json` / `BENCH_ilp.json` / `BENCH_obs.json` into the
+//! current directory.
 //!
 //! `--quick` averages over 10 cars and truncates sweeps; the default
 //! (full) scale matches the paper's 100-car averages.
 
 use soc_bench::harness::{Scale, Table};
-use soc_bench::{ablations, figs, ilp, serving};
+use soc_bench::{ablations, figs, ilp, obs, serving};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +50,7 @@ fn main() {
         ("drift", ablations::log_drift),
         ("serving", serving::batch_serving),
         ("ilp", ilp::ilp_solver_bench),
+        ("obs", obs::obs_overhead),
     ];
 
     let run_all = wanted.contains(&"all");

@@ -31,6 +31,7 @@ use soc_solver::SolveStats;
 
 use crate::figs::synthetic_setup;
 use crate::harness::{measure, Cell, Scale, Table};
+use crate::json::{BenchJson, InlineObject};
 
 /// Attribute budget for the experiment. Larger than the paper's sweep
 /// midpoint on purpose: a looser budget keeps more `x_j` fractional in
@@ -213,49 +214,46 @@ pub fn ilp_solver_bench(scale: Scale) -> Table {
     table
 }
 
-/// Renders the machine-readable artifact. Hand-rolled JSON — the
-/// workspace has no serialization dependency (see DESIGN.md
-/// "Dependencies") and the schema is flat.
+/// Renders the machine-readable artifact through the shared
+/// [`crate::json`] emitter.
 pub fn ilp_json(params: &IlpParams, results: &[IlpResult], scale: Scale) -> String {
     let cold = results
         .iter()
         .find(|r| r.name == "cold")
         .map_or(0.0, IlpResult::nodes_per_sec);
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"ilp_solver\",\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str(&format!("  \"num_queries\": {},\n", params.num_queries));
-    out.push_str(&format!("  \"num_attrs\": {},\n", params.num_attrs));
-    out.push_str(&format!("  \"m\": {},\n", params.m));
-    out.push_str(&format!("  \"instances\": {},\n", params.instances));
-    out.push_str(&format!("  \"threads\": {},\n", params.threads));
-    out.push_str("  \"baseline\": \"cold\",\n");
-    out.push_str("  \"configs\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    let mut json = BenchJson::new("ilp_solver", scale)
+        .raw_field("num_queries", params.num_queries.to_string())
+        .raw_field("num_attrs", params.num_attrs.to_string())
+        .raw_field("m", params.m.to_string())
+        .raw_field("instances", params.instances.to_string())
+        .raw_field("threads", params.threads.to_string())
+        .str_field("baseline", "cold");
+    for r in results {
         let ms = r.total.as_secs_f64() * 1e3;
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"total_ms\": {ms:.3}, \"nodes\": {}, \
-             \"lp_pivots\": {}, \"dual_pivots\": {}, \"pivots_per_node\": {:.3}, \
-             \"nodes_per_sec\": {:.1}, \"throughput_vs_cold\": {:.3}, \
-             \"warm_solves\": {}, \"cold_solves\": {}, \"warm_failures\": {}, \
-             \"warm_hit_rate\": {:.3}, \"total_satisfied\": {}}}{}\n",
-            r.name,
-            r.stats.nodes,
-            r.stats.lp_pivots,
-            r.stats.dual_pivots,
-            r.stats.pivots_per_node(),
-            r.nodes_per_sec(),
-            r.nodes_per_sec() / cold.max(1e-12),
-            r.stats.warm_solves,
-            r.stats.cold_solves,
-            r.stats.warm_failures,
-            r.stats.warm_hit_rate(),
-            r.total_satisfied,
-            if i + 1 < results.len() { "," } else { "" }
-        ));
+        json = json.config(
+            InlineObject::new()
+                .str("name", &r.name)
+                .raw("total_ms", format!("{ms:.3}"))
+                .raw("nodes", r.stats.nodes.to_string())
+                .raw("lp_pivots", r.stats.lp_pivots.to_string())
+                .raw("dual_pivots", r.stats.dual_pivots.to_string())
+                .raw(
+                    "pivots_per_node",
+                    format!("{:.3}", r.stats.pivots_per_node()),
+                )
+                .raw("nodes_per_sec", format!("{:.1}", r.nodes_per_sec()))
+                .raw(
+                    "throughput_vs_cold",
+                    format!("{:.3}", r.nodes_per_sec() / cold.max(1e-12)),
+                )
+                .raw("warm_solves", r.stats.warm_solves.to_string())
+                .raw("cold_solves", r.stats.cold_solves.to_string())
+                .raw("warm_failures", r.stats.warm_failures.to_string())
+                .raw("warm_hit_rate", format!("{:.3}", r.stats.warm_hit_rate()))
+                .raw("total_satisfied", r.total_satisfied.to_string()),
+        );
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.render()
 }
 
 #[cfg(test)]

@@ -1,0 +1,130 @@
+//! Shared emitter for the flat `BENCH_*.json` artifacts.
+//!
+//! Hand-rolled JSON — the workspace has no serialization dependency (see
+//! DESIGN.md "Dependencies") and every artifact is one flat object plus
+//! a flat `configs` array. The emitter fixes the layout (two-space
+//! indented header fields, one inline object per config line) so all
+//! artifacts stay diff-friendly and uniformly parseable.
+
+use crate::harness::Scale;
+
+/// One inline JSON object, rendered `{"k": v, ...}` on a single line —
+/// the shape of a `configs` entry.
+#[derive(Clone, Debug, Default)]
+pub struct InlineObject {
+    parts: Vec<String>,
+}
+
+impl InlineObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a string-valued field. The value is not escaped; bench
+    /// names are ASCII identifiers and config labels.
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.parts.push(format!("\"{name}\": \"{value}\""));
+        self
+    }
+
+    /// Appends a field whose value is already rendered — numbers with
+    /// the caller's precision, `null`, nested summaries.
+    pub fn raw(mut self, name: &str, rendered: impl Into<String>) -> Self {
+        self.parts.push(format!("\"{name}\": {}", rendered.into()));
+        self
+    }
+
+    /// Renders `{"k": v, ...}` on one line — for nesting one inline
+    /// object as the value of another field.
+    pub fn render_inline(&self) -> String {
+        format!("{{{}}}", self.parts.join(", "))
+    }
+}
+
+/// Builder for one artifact: scalar header fields, then the `configs`
+/// array.
+#[derive(Clone, Debug)]
+pub struct BenchJson {
+    fields: Vec<String>,
+    configs: Vec<String>,
+}
+
+impl BenchJson {
+    /// Starts an artifact with the mandatory `experiment`/`scale`
+    /// header every `BENCH_*.json` carries.
+    pub fn new(experiment: &str, scale: Scale) -> Self {
+        Self {
+            fields: vec![
+                format!("\"experiment\": \"{experiment}\""),
+                format!("\"scale\": \"{scale:?}\""),
+            ],
+            configs: Vec::new(),
+        }
+    }
+
+    /// Appends a string-valued header field.
+    pub fn str_field(mut self, name: &str, value: &str) -> Self {
+        self.fields.push(format!("\"{name}\": \"{value}\""));
+        self
+    }
+
+    /// Appends a header field whose value is already rendered.
+    pub fn raw_field(mut self, name: &str, rendered: impl Into<String>) -> Self {
+        self.fields.push(format!("\"{name}\": {}", rendered.into()));
+        self
+    }
+
+    /// Appends one entry to the `configs` array.
+    pub fn config(mut self, obj: InlineObject) -> Self {
+        self.configs.push(obj.render_inline());
+        self
+    }
+
+    /// Renders the artifact.
+    pub fn render(self) -> String {
+        let mut out = String::from("{\n");
+        for f in &self.fields {
+            out.push_str(&format!("  {f},\n"));
+        }
+        out.push_str("  \"configs\": [\n");
+        for (i, c) in self.configs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {c}{}\n",
+                if i + 1 < self.configs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_the_artifact_convention() {
+        let json = BenchJson::new("demo", Scale::Quick)
+            .raw_field("n", "3")
+            .str_field("baseline", "cold")
+            .config(InlineObject::new().str("name", "cold").raw("ms", "20.000"))
+            .config(InlineObject::new().str("name", "warm").raw("ms", "5.125"))
+            .render();
+        assert!(json.starts_with("{\n  \"experiment\": \"demo\",\n"));
+        assert!(json.contains("\"scale\": \"Quick\""));
+        assert!(json.contains("  \"baseline\": \"cold\",\n"));
+        assert!(json.contains("    {\"name\": \"cold\", \"ms\": 20.000},\n"));
+        assert!(json.contains("    {\"name\": \"warm\", \"ms\": 5.125}\n"));
+        assert!(json.ends_with("  ]\n}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn empty_configs_render_an_empty_array() {
+        let json = BenchJson::new("demo", Scale::Full).render();
+        assert!(json.contains("\"configs\": [\n  ]"));
+    }
+}

@@ -12,4 +12,6 @@ pub mod ablations;
 pub mod figs;
 pub mod harness;
 pub mod ilp;
+pub mod json;
+pub mod obs;
 pub mod serving;

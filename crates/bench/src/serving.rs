@@ -22,6 +22,7 @@ use soc_core::{solve_batch, solve_batch_chunked, MfiSolver, Projected, SharedMfi
 
 use crate::figs::synthetic_setup;
 use crate::harness::{measure, Cell, Scale, Table};
+use crate::json::{BenchJson, InlineObject};
 
 /// Attribute budget used throughout the experiment (the paper's default
 /// sweep midpoint).
@@ -240,40 +241,37 @@ pub fn batch_serving(scale: Scale) -> Table {
     table
 }
 
-/// Renders the machine-readable artifact. Hand-rolled JSON — the
-/// workspace has no serialization dependency (see DESIGN.md
-/// "Dependencies") and the schema is flat.
+/// Renders the machine-readable artifact through the shared
+/// [`crate::json`] emitter.
 pub fn serving_json(params: &ServingParams, results: &[ServingResult], scale: Scale) -> String {
     let baseline = results
         .iter()
         .find(|r| r.name == "chunked/full/serial-mine")
         .map_or(Duration::ZERO, |r| r.mean);
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"batch_serving\",\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str(&format!("  \"num_queries\": {},\n", params.num_queries));
-    out.push_str(&format!("  \"num_attrs\": {},\n", params.num_attrs));
-    out.push_str(&format!("  \"cars\": {},\n", params.cars));
-    out.push_str(&format!("  \"m\": {},\n", params.m));
-    out.push_str(&format!("  \"threads\": {},\n", params.threads));
-    out.push_str(&format!("  \"reps\": {},\n", params.reps));
-    out.push_str("  \"baseline\": \"chunked/full/serial-mine\",\n");
-    out.push_str("  \"configs\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    let mut json = BenchJson::new("batch_serving", scale)
+        .raw_field("num_queries", params.num_queries.to_string())
+        .raw_field("num_attrs", params.num_attrs.to_string())
+        .raw_field("cars", params.cars.to_string())
+        .raw_field("m", params.m.to_string())
+        .raw_field("threads", params.threads.to_string())
+        .raw_field("reps", params.reps.to_string())
+        .str_field("baseline", "chunked/full/serial-mine");
+    for r in results {
         let ms = r.mean.as_secs_f64() * 1e3;
         let speedup = baseline.as_secs_f64() / r.mean.as_secs_f64().max(1e-12);
-        let satisfied = r
-            .total_satisfied
-            .map_or("null".to_string(), |s| s.to_string());
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"mean_ms\": {ms:.3}, \
-             \"speedup_vs_baseline\": {speedup:.3}, \"total_satisfied\": {satisfied}}}{}\n",
-            r.name,
-            if i + 1 < results.len() { "," } else { "" }
-        ));
+        json = json.config(
+            InlineObject::new()
+                .str("name", &r.name)
+                .raw("mean_ms", format!("{ms:.3}"))
+                .raw("speedup_vs_baseline", format!("{speedup:.3}"))
+                .raw(
+                    "total_satisfied",
+                    r.total_satisfied
+                        .map_or("null".to_string(), |s| s.to_string()),
+                ),
+        );
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.render()
 }
 
 #[cfg(test)]

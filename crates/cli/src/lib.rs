@@ -5,7 +5,8 @@
 //! path is unit-testable; `src/main.rs` is a thin binary shim.
 //!
 //! ```text
-//! soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N] [--stats]
+//! soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N]
+//!              [--stats] [--metrics[=table|json]] [--trace-out PATH]
 //! soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
 //! soc per-attr --log FILE --tuple BITS [--algo NAME]
 //! soc stats    --log FILE
@@ -65,7 +66,8 @@ fn runtime(message: impl Into<String>) -> CliError {
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
 usage:
-  soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N] [--stats]
+  soc solve    --log FILE --tuple BITS -m N [--algo NAME] [--dedup] [--project] [--workers N]
+               [--stats] [--metrics[=table|json]] [--trace-out PATH]
   soc dominate --db FILE  --tuple BITS -m N [--algo NAME]
   soc per-attr --log FILE --tuple BITS [--algo NAME]
   soc stats    --log FILE
@@ -74,7 +76,9 @@ usage:
 algorithms: brute ilp mfi mfi-det attr cumul queries local (default: mfi)
 --project solves on the tuple-projected instance; --workers N mines MFIs
 with N threads (mfi only); --stats prints branch-and-bound counters
-(nodes, LP pivots, warm-start hit rate — ilp only)";
+(nodes, LP pivots, warm-start hit rate — ilp only); --metrics prints the
+process metric registry after solving (any algorithm); --trace-out writes
+tracing spans as JSON lines to PATH";
 
 /// Abstraction over the filesystem so tests can inject content.
 pub trait FileSource {
@@ -124,6 +128,24 @@ impl<'a> Args<'a> {
     fn required(&mut self, flag: &str) -> Result<&'a str, CliError> {
         self.value(flag)?
             .ok_or_else(|| usage(format!("missing required {flag}")))
+    }
+
+    /// A flag with an optional inline value: `None` when absent,
+    /// `Some(None)` for the bare `--flag` form, `Some(Some(v))` for
+    /// `--flag=v`.
+    fn flag_opt_value(&mut self, flag: &str) -> Option<Option<&'a str>> {
+        for i in 0..self.items.len() {
+            let item = &self.items[i];
+            if item == flag {
+                self.used[i] = true;
+                return Some(None);
+            }
+            if let Some(v) = item.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+                self.used[i] = true;
+                return Some(Some(v));
+            }
+        }
+        None
     }
 
     /// A bare boolean flag.
@@ -242,6 +264,17 @@ fn cmd_solve(rest: &[String], files: &dyn FileSource) -> Result<String, CliError
     }
     let project = args.flag("--project");
     let want_stats = args.flag("--stats");
+    let metrics_mode = match args.flag_opt_value("--metrics") {
+        None => None,
+        Some(None) | Some(Some("table")) => Some(MetricsMode::Table),
+        Some(Some("json")) => Some(MetricsMode::Json),
+        Some(Some(other)) => {
+            return Err(usage(format!(
+                "--metrics accepts table or json, got {other:?}"
+            )))
+        }
+    };
+    let trace_out = args.value("--trace-out")?;
     args.finish()?;
     if want_stats && algo_name != "ilp" {
         return Err(usage(format!(
@@ -253,6 +286,14 @@ fn cmd_solve(rest: &[String], files: &dyn FileSource) -> Result<String, CliError
     }
 
     let tuple = parse_tuple(tuple_bits, log.schema())?;
+    if metrics_mode.is_some() {
+        soc_obs::enable_metrics();
+        soc_obs::reset_metrics();
+    }
+    if trace_out.is_some() {
+        soc_obs::enable_tracing();
+        let _ = soc_obs::drain_spans(); // discard spans from before this run
+    }
     let inst = SocInstance::new(&log, &tuple, m);
     let (sol, stats) = if want_stats {
         let (sol, stats) = IlpSolver::default().solve_with_stats(&inst);
@@ -271,23 +312,84 @@ fn cmd_solve(rest: &[String], files: &dyn FileSource) -> Result<String, CliError
         log.total_weight(),
     );
     if let Some(s) = stats {
-        out.push_str(&format!(
-            "nodes:     {} ({} pruned by pre-bound, {} presolved vars, {} threads)\nlp pivots: {} primal + {} dual ({:.2} per node)\nwarm lp:   {} of {} node LPs warm-started ({:.0}%), {} cold, {} fallbacks\n",
-            s.nodes,
-            s.pre_bound_pruned,
-            s.presolved_vars,
-            s.threads,
-            s.lp_pivots,
-            s.dual_pivots,
-            s.pivots_per_node(),
-            s.warm_solves,
-            s.warm_solves + s.cold_solves,
-            s.warm_hit_rate() * 100.0,
-            s.cold_solves,
-            s.warm_failures,
-        ));
+        // Rendered through the shared soc-obs table formatter so --stats
+        // and --metrics read identically; the rows come from this solve's
+        // SolveStats (exact even when other threads touch the registry).
+        out.push_str(&soc_obs::format_rows(&solver_stat_rows(&s)));
+    }
+    if let Some(mode) = metrics_mode {
+        out.push_str(match mode {
+            MetricsMode::Table => "\nmetrics:\n",
+            MetricsMode::Json => "\n",
+        });
+        out.push_str(&match mode {
+            MetricsMode::Table => soc_obs::metrics_table(),
+            MetricsMode::Json => soc_obs::metrics_json(),
+        });
+        soc_obs::disable_metrics();
+    }
+    if let Some(path) = trace_out {
+        let spans = soc_obs::drain_spans();
+        soc_obs::disable_tracing();
+        std::fs::write(path, soc_obs::spans_to_json_lines(&spans))
+            .map_err(|e| runtime(format!("{path}: {e}")))?;
+        out.push_str(&format!("trace:     {} spans -> {path}\n", spans.len()));
     }
     Ok(out)
+}
+
+/// `--metrics` output format.
+#[derive(Clone, Copy)]
+enum MetricsMode {
+    Table,
+    Json,
+}
+
+/// One row per branch-and-bound counter, named like the registry's
+/// `solver.*` metrics, plus the derived ratios the old formatter showed.
+fn solver_stat_rows(s: &soc_core::SolveStats) -> Vec<soc_obs::MetricRow> {
+    use soc_obs::{MetricRow, MetricValue};
+    let row = |name: &str, value: MetricValue| MetricRow {
+        name: name.to_string(),
+        value,
+    };
+    vec![
+        row("solver.nodes", MetricValue::Counter(s.nodes as u64)),
+        row(
+            "solver.pre_bound_pruned",
+            MetricValue::Counter(s.pre_bound_pruned as u64),
+        ),
+        row(
+            "solver.presolved_vars",
+            MetricValue::Counter(s.presolved_vars as u64),
+        ),
+        row("solver.threads", MetricValue::Gauge(s.threads as i64)),
+        row("solver.lp_pivots", MetricValue::Counter(s.lp_pivots as u64)),
+        row(
+            "solver.dual_pivots",
+            MetricValue::Counter(s.dual_pivots as u64),
+        ),
+        row(
+            "solver.pivots_per_node",
+            MetricValue::Float(s.pivots_per_node()),
+        ),
+        row(
+            "solver.warm_solves",
+            MetricValue::Counter(s.warm_solves as u64),
+        ),
+        row(
+            "solver.cold_solves",
+            MetricValue::Counter(s.cold_solves as u64),
+        ),
+        row(
+            "solver.warm_failures",
+            MetricValue::Counter(s.warm_failures as u64),
+        ),
+        row(
+            "solver.warm_hit_rate",
+            MetricValue::Float(s.warm_hit_rate()),
+        ),
+    ]
 }
 
 fn cmd_dominate(rest: &[String], files: &dyn FileSource) -> Result<String, CliError> {
@@ -530,9 +632,92 @@ attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
             "solve", "--log", "log.txt", "--tuple", "110111", "-m", "3", "--algo", "ilp", "--stats",
         ]);
         assert!(out.contains("satisfied: 3 of 5"), "{out}");
-        assert!(out.contains("nodes:"), "{out}");
-        assert!(out.contains("lp pivots:"), "{out}");
-        assert!(out.contains("warm lp:"), "{out}");
+        // --stats renders through the shared metrics table formatter.
+        assert!(out.contains("metric"), "{out}");
+        assert!(out.contains("solver.nodes"), "{out}");
+        assert!(out.contains("solver.lp_pivots"), "{out}");
+        assert!(out.contains("solver.warm_hit_rate"), "{out}");
+    }
+
+    // The metrics/tracing flags toggle process-global state; tests that
+    // use them serialize here so parallel test threads cannot observe
+    // each other's registry resets or span drains.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn solve_with_metrics_table_and_json() {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let out = run_ok(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--algo",
+            "ilp",
+            "--metrics",
+        ]);
+        assert!(out.contains("satisfied: 3 of 5"), "{out}");
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("solver.nodes"), "{out}");
+
+        let out = run_ok(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--algo",
+            "ilp",
+            "--metrics=json",
+        ]);
+        let json = &out[out.find("{\n").expect("json object in output")..];
+        assert!(json.contains("\"solver.nodes\":"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let err = run_err(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--metrics=xml",
+        ]);
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn solve_with_trace_out_writes_span_file() {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("soc_cli_trace_test.jsonl");
+        let path_str = path.to_str().unwrap();
+        let out = run_ok(&[
+            "solve",
+            "--log",
+            "log.txt",
+            "--tuple",
+            "110111",
+            "-m",
+            "3",
+            "--algo",
+            "ilp",
+            "--trace-out",
+            path_str,
+        ]);
+        assert!(out.contains("trace:"), "{out}");
+        let trace = std::fs::read_to_string(&path).expect("trace file written");
+        let _ = std::fs::remove_file(&path);
+        assert!(!trace.trim().is_empty(), "trace file is empty");
+        assert!(trace.contains("\"name\": \"solve_mip\""), "{trace}");
+        for line in trace.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 
     #[test]

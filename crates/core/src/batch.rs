@@ -4,6 +4,7 @@
 //! paper's experiments take (averages over 100 randomly selected cars).
 
 use soc_data::{QueryLog, Tuple};
+use soc_obs::histogram;
 use soc_pool::Pool;
 
 use crate::{SocAlgorithm, SocInstance, Solution};
@@ -37,9 +38,15 @@ where
     if tuples.is_empty() {
         return Vec::new();
     }
+    let _span = soc_obs::span("solve_batch");
     let pool = Pool::new(threads.min(tuples.len()));
     pool.map(tuples, |tuple| {
-        algorithm.solve(&SocInstance::new(log, tuple, m))
+        let t0 = soc_obs::metrics_then_now();
+        let solution = algorithm.solve(&SocInstance::new(log, tuple, m));
+        if let Some(t0) = t0 {
+            histogram!("serving.instance_us").record(soc_obs::clock::elapsed_us(t0));
+        }
+        solution
     })
 }
 

@@ -55,3 +55,4 @@ pub use local_search::LocalSearch;
 pub use mfi::{MfiPreprocessed, MfiSolver, MinerKind, SharedMfi};
 pub use problem::{SocAlgorithm, SocInstance, Solution};
 pub use reduce::{Projected, ReducedInstance};
+pub use soc_solver::SolveStats;

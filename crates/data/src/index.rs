@@ -25,6 +25,8 @@
 //! weights; `QueryLog` builds it lazily and caches it in a
 //! `OnceLock<Arc<LogIndex>>` (see DESIGN.md for the invalidation rules).
 
+use soc_obs::{counter, histogram};
+
 use crate::{AttrSet, QueryLog, Tuple};
 
 /// An inverted bitmap index: for each attribute, the set of query ids
@@ -52,6 +54,8 @@ impl LogIndex {
     /// Builds the index in one pass over the log: `O(S · M/64)` time,
     /// `M · S/64` words of space.
     pub fn build(log: &QueryLog) -> LogIndex {
+        let _span = soc_obs::span("index_build");
+        let build_start = soc_obs::metrics_then_now();
         let num_queries = log.len();
         let num_attrs = log.num_attrs();
         let row_words = num_queries.div_ceil(64);
@@ -70,6 +74,9 @@ impl LogIndex {
                 attr_bits[a * row_words + i / 64] |= 1u64 << (i % 64);
                 attr_weight[a] += w;
             }
+        }
+        if let Some(t0) = build_start {
+            histogram!("index.build_us").record(soc_obs::clock::elapsed_us(t0));
         }
         LogIndex {
             num_queries,
@@ -138,6 +145,7 @@ impl LogIndex {
     /// the AND of the operand rows, weighed. An empty `attrs` co-occurs
     /// in every query.
     pub fn cooccurrence_count(&self, attrs: &AttrSet) -> usize {
+        counter!("index.kernel_calls").inc();
         let mut ones = attrs.iter();
         let Some(first) = ones.next() else {
             return self.total_weight;
@@ -160,6 +168,7 @@ impl LogIndex {
     /// `items` in the complemented log `~Q`: the AND of the *complemented*
     /// operand rows, weighed.
     pub fn complement_support(&self, items: &AttrSet) -> usize {
+        counter!("index.kernel_calls").inc();
         let mut acc = self.full_acc();
         self.and_not_rows(&mut acc, items.iter());
         self.weigh(&acc)
@@ -168,6 +177,7 @@ impl LogIndex {
     /// The SOC objective: total weight of queries `q ⊆ t`, computed as
     /// `complement_support(¬t)` without materializing `¬t`.
     pub fn satisfied_count(&self, t: &Tuple) -> usize {
+        counter!("index.kernel_calls").inc();
         let mut acc = self.full_acc();
         let absent = t.attrs().complement();
         self.and_not_rows(&mut acc, absent.iter());

@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 
 use soc_data::AttrSet;
+use soc_obs::counter;
 use soc_rng::StdRng;
 
 use crate::{FrequentItemset, SupportCounter};
@@ -221,6 +222,17 @@ impl MfiResult {
     }
 }
 
+/// Mirrors a finished run's counters into the process-wide registry.
+/// `dedup_hits` = walks that rediscovered an already-seen itemset.
+fn publish_run_metrics(result: &MfiResult) {
+    if !soc_obs::metrics_enabled() {
+        return;
+    }
+    counter!("mfi.walk_rounds").add(result.iterations as u64);
+    counter!("mfi.support_calls").add(result.stats.support_calls as u64);
+    counter!("mfi.dedup_hits").add(result.iterations.saturating_sub(result.itemsets.len()) as u64);
+}
+
 /// Repeats a random walk until the stop rule fires, collecting distinct
 /// maximal frequent itemsets — `ComputeMaxFreqItemsets` of the paper's
 /// Fig 5 pseudo-code.
@@ -238,6 +250,7 @@ impl MfiMiner {
 
     /// Runs the repeated walk over `data`.
     pub fn mine<S: SupportCounter>(&self, data: &S, rng: &mut StdRng) -> MfiResult {
+        let _span = soc_obs::span("mine_mfi");
         let cfg = &self.config;
         let mut seen: HashMap<AttrSet, (usize, usize)> = HashMap::new(); // set -> (support, count)
         let mut stats = WalkStats::default();
@@ -287,13 +300,15 @@ impl MfiMiner {
             itemsets.push(FrequentItemset { items, support });
             times.push(count);
         }
-        MfiResult {
+        let result = MfiResult {
             itemsets,
             times_discovered: times,
             iterations,
             converged,
             stats,
-        }
+        };
+        publish_run_metrics(&result);
+        result
     }
 }
 
@@ -326,6 +341,7 @@ impl MfiMiner {
         seed: u64,
         pool: &soc_pool::Pool,
     ) -> MfiResult {
+        let _span = soc_obs::span("mine_mfi");
         let cfg = &self.config;
         let w = pool.threads();
         let mut seen: HashMap<AttrSet, (usize, usize)> = HashMap::new();
@@ -398,13 +414,15 @@ impl MfiMiner {
             itemsets.push(FrequentItemset { items, support });
             times.push(count);
         }
-        MfiResult {
+        let result = MfiResult {
             itemsets,
             times_discovered: times,
             iterations,
             converged,
             stats,
-        }
+        };
+        publish_run_metrics(&result);
+        result
     }
 }
 

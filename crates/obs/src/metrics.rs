@@ -1,0 +1,598 @@
+//! Metrics: sharded counters, gauges, and log₂ histograms behind a
+//! static registry.
+//!
+//! ## Shard/flush protocol
+//!
+//! Counters and histograms are striped across [`SHARDS`] cache-line-
+//! padded atomic cells; each thread hashes to a fixed stripe (a
+//! thread-local assigned round-robin on first use), so concurrent
+//! increments from the pool's workers hit distinct cache lines instead
+//! of bouncing one. Increments use `Relaxed` ordering — a metric cell
+//! carries no control dependency, and torn *reads across shards* are
+//! acceptable mid-flight. Reads (`value`, `snapshot`) sum the stripes;
+//! exactness is guaranteed once the writing threads have been joined
+//! (every `fetch_add` is then visible via the join's happens-before
+//! edge), which is the registry's "flush": there is no buffered state,
+//! so joining writers *is* the flush.
+//!
+//! ## Registration
+//!
+//! Metrics are interned by `&'static str` name in a global map and
+//! leaked (`Box::leak`) so handles are `&'static` and recording never
+//! takes a lock. Re-registering a name with a different kind panics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Stripes per counter/histogram. 16 covers the pool's worker counts on
+/// big hosts while keeping an idle counter at 1 KiB.
+pub(crate) const SHARDS: usize = 16;
+
+/// Histogram bucket count: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`; bucket 64 tops out the u64 range.
+pub const BUCKETS: usize = 65;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// The calling thread's stripe, assigned round-robin on first use.
+#[inline]
+fn shard_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotonically increasing sum, striped across shards.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Adds `n` (no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.shards[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 (no-op while metrics are disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The summed value across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A signed instantaneous value (queue depths, live worker counts).
+/// Unsharded: gauges are written orders of magnitude less often than
+/// counters (once per batch claim, not once per task).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while metrics are disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::metrics_enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `d` (may be negative; no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::metrics_enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[repr(align(64))]
+struct HistShard {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The log₂ bucket of `v`: 0 for 0, else `⌊log₂ v⌋ + 1`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The exclusive upper bound of bucket `b` (`u64::MAX` for the top one).
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        1
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        1u64 << b
+    }
+}
+
+/// A fixed-bucket log₂ histogram of `u64` samples (typically
+/// microseconds), striped across shards like [`Counter`].
+pub struct Histogram {
+    shards: [HistShard; 8],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| HistShard::default()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample (no-op while metrics are disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        let shard = &self.shards[shard_id() % self.shards.len()];
+        shard.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        shard.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (see the module docs for
+    /// the exactness contract).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for s in &self.shards {
+            for (b, cell) in buckets.iter_mut().zip(&s.buckets) {
+                *b += cell.load(Ordering::Relaxed);
+            }
+            sum += s.sum.load(Ordering::Relaxed);
+            max = max.max(s.max.load(Ordering::Relaxed));
+        }
+        HistSnapshot {
+            count: buckets.iter().sum(),
+            sum,
+            max,
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            for b in &s.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            s.sum.store(0, Ordering::Relaxed);
+            s.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Per-bucket counts (see [`BUCKETS`] for the bucket layout).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q in [0, 1]`
+    /// (0 when empty). Log₂ buckets bound the estimate within 2×.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        u64::MAX
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The static metric registry: an interning map from name to leaked
+/// metric. All recording goes through `&'static` handles; the map lock
+/// is touched only at registration and snapshot time.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+pub(crate) fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    fn intern<T: Default + 'static>(
+        &self,
+        name: &'static str,
+        wrap: fn(&'static T) -> Metric,
+        unwrap: fn(&Metric) -> Option<&'static T>,
+    ) -> &'static T {
+        let mut map = self.metrics.lock().expect("metric registry poisoned");
+        let entry = map
+            .entry(name)
+            .or_insert_with(|| wrap(Box::leak(Box::new(T::default()))));
+        let (found, kind) = (unwrap(entry), entry.kind());
+        // Release the lock before any panic so a kind clash (a programming
+        // error at one call site) cannot poison the whole registry.
+        drop(map);
+        found.unwrap_or_else(|| {
+            panic!("metric {name:?} already registered as a {kind}, requested as a different kind")
+        })
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        self.intern(name, Metric::Counter, |m| match m {
+            Metric::Counter(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        self.intern(name, Metric::Gauge, |m| match m {
+            Metric::Gauge(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        self.intern(name, Metric::Histogram, |m| match m {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().expect("metric registry poisoned");
+        Snapshot {
+            rows: map
+                .iter()
+                .map(|(name, m)| MetricRow {
+                    name: (*name).to_string(),
+                    value: match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.value()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                        Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes every registered metric (registration survives).
+    pub fn reset(&self) {
+        let map = self.metrics.lock().expect("metric registry poisoned");
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// One named metric value inside a [`Snapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricRow {
+    /// Dotted metric name.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A snapshot value of any metric kind. `Float` never comes from the
+/// registry; it lets callers render derived ratios (hit rates,
+/// per-node averages) through the same table machinery.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Counter sum.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram summary (boxed: a snapshot carries 65 buckets).
+    Histogram(Box<HistSnapshot>),
+    /// A derived floating-point statistic.
+    Float(f64),
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// All rows, sorted by metric name.
+    pub rows: Vec<MetricRow>,
+}
+
+impl Snapshot {
+    /// Rows whose name starts with `prefix`.
+    pub fn with_prefix(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| r.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renders as an aligned two-column text table.
+    pub fn to_table(&self) -> String {
+        format_rows(&self.rows)
+    }
+
+    /// Renders as one JSON object: counters/gauges as numbers,
+    /// histograms as `{count, sum, max, mean, p50, p99, buckets}` with
+    /// empty buckets trimmed from the tail.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!("  \"{}\": ", row.name));
+            match &row.value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Float(v) => out.push_str(&format!("{v:.3}")),
+                MetricValue::Histogram(h) => {
+                    let last = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+                    let buckets: Vec<String> =
+                        h.buckets[..last].iter().map(u64::to_string).collect();
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}, \
+                         \"p50_le\": {}, \"p99_le\": {}, \"buckets\": [{}]}}",
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.mean(),
+                        h.quantile_upper(0.50),
+                        h.quantile_upper(0.99),
+                        buckets.join(", ")
+                    ));
+                }
+            }
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Renders metric rows as an aligned two-column text table — the shared
+/// formatter behind [`Snapshot::to_table`] and the CLI's `--stats`.
+pub fn format_rows(rows: &[MetricRow]) -> String {
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+    let mut out = format!("{:<width$}  value\n", "metric");
+    for row in rows {
+        let rendered = match &row.value {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => v.to_string(),
+            MetricValue::Float(v) => format!("{v:.3}"),
+            MetricValue::Histogram(h) => format!(
+                "count={} mean={:.1} p50<={} p99<={} max={}",
+                h.count,
+                h.mean(),
+                h.quantile_upper(0.50),
+                h.quantile_upper(0.99),
+                h.max
+            ),
+        };
+        out.push_str(&format!("{:<width$}  {rendered}\n", row.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::FLAG_LOCK;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(10), 1024);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn counter_and_histogram_record_when_enabled() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        let c = global().counter("test.metrics.counter");
+        let h = global().histogram("test.metrics.hist");
+        c.reset();
+        h.reset();
+        c.add(3);
+        c.inc();
+        for v in [0, 1, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(c.value(), 4);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1016);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[3], 1); // 7
+        assert_eq!(s.buckets[4], 1); // 8
+        assert_eq!(s.buckets[10], 1); // 1000
+        crate::disable_all();
+    }
+
+    #[test]
+    fn gauge_set_add() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        let g = global().gauge("test.metrics.gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.value(), 7);
+        g.reset();
+        assert_eq!(g.value(), 0);
+        crate::disable_all();
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        let h = global().histogram("test.metrics.quant");
+        h.reset();
+        // 90 fast samples (~16us), 10 slow (~4096us).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(3000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper(0.5), 16);
+        assert_eq!(s.quantile_upper(0.99), 4096);
+        assert_eq!(s.quantile_upper(0.0), 16); // rank floors at 1
+        crate::disable_all();
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let _ = global().counter("test.metrics.kind_clash");
+        let _ = global().gauge("test.metrics.kind_clash");
+    }
+
+    #[test]
+    fn snapshot_table_and_json_render() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        global().counter("test.metrics.render_c").reset();
+        global().counter("test.metrics.render_c").add(12);
+        global().histogram("test.metrics.render_h").reset();
+        global().histogram("test.metrics.render_h").record(100);
+        let snap = global().snapshot().with_prefix("test.metrics.render");
+        assert_eq!(snap.rows.len(), 2);
+        let table = snap.to_table();
+        assert!(table.contains("test.metrics.render_c"), "{table}");
+        assert!(table.contains("12"), "{table}");
+        assert!(table.contains("count=1"), "{table}");
+        let json = snap.to_json();
+        assert!(json.contains("\"test.metrics.render_c\": 12"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        crate::disable_all();
+    }
+
+    #[test]
+    fn reset_clears_values_but_keeps_registration() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        let c = global().counter("test.metrics.reset_me");
+        c.add(5);
+        global().reset();
+        assert_eq!(c.value(), 0);
+        assert!(global()
+            .snapshot()
+            .rows
+            .iter()
+            .any(|r| r.name == "test.metrics.reset_me"));
+        crate::disable_all();
+    }
+}

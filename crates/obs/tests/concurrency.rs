@@ -1,0 +1,73 @@
+//! Concurrency contract of the metrics layer: hammer one counter and
+//! one histogram from the workers of a real `soc_pool::Pool` and assert
+//! *exact* totals after the pool joins — the registry's "flush" is the
+//! join's happens-before edge (see the soc-obs module docs), so sharded
+//! relaxed increments must still sum to the true count.
+//!
+//! This lives in an integration test (own process), so enabling the
+//! process-global metrics flag cannot interfere with other test
+//! binaries.
+
+use soc_pool::Pool;
+
+#[test]
+fn pool_hammer_totals_are_exact() {
+    soc_obs::enable_metrics();
+    let c = soc_obs::counter!("test.conc.hammer_counter");
+    let h = soc_obs::histogram!("test.conc.hammer_hist");
+
+    const TASKS: usize = 512;
+    const OPS_PER_TASK: usize = 1_000;
+    for threads in [1, 4, 13] {
+        soc_obs::reset_metrics();
+        let out = Pool::new(threads).map_indexed(TASKS, |i| {
+            for k in 0..OPS_PER_TASK {
+                c.inc();
+                // Values spread over many log2 buckets, deterministically.
+                h.record(((i * OPS_PER_TASK + k) % 4096) as u64);
+            }
+            i
+        });
+        assert_eq!(out.len(), TASKS);
+
+        // The pool joined its workers inside map_indexed, so every
+        // increment is visible: totals are exact, not approximate.
+        assert_eq!(
+            c.value(),
+            (TASKS * OPS_PER_TASK) as u64,
+            "threads={threads}"
+        );
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.count,
+            (TASKS * OPS_PER_TASK) as u64,
+            "threads={threads}"
+        );
+        let expected_sum: u64 = (0..TASKS * OPS_PER_TASK).map(|v| (v % 4096) as u64).sum();
+        assert_eq!(snap.sum, expected_sum, "threads={threads}");
+        assert_eq!(snap.max, 4095);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+    soc_obs::disable_all();
+}
+
+#[test]
+fn pool_span_flush_collects_every_worker_span() {
+    soc_obs::enable_tracing();
+    let _ = soc_obs::drain_spans();
+
+    const TASKS: usize = 64;
+    let out = Pool::new(4).map_indexed(TASKS, |i| {
+        let _s = soc_obs::span!("conc_task");
+        i * 3
+    });
+    assert_eq!(out, (0..TASKS).map(|i| i * 3).collect::<Vec<_>>());
+
+    // Workers are scoped threads: their TLS destructors ran before
+    // map_indexed returned, so every span has been flushed.
+    let spans = soc_obs::drain_spans();
+    soc_obs::disable_all();
+    let tasks = spans.iter().filter(|s| s.name == "conc_task").count();
+    assert_eq!(tasks, TASKS);
+    assert!(spans.iter().all(|s| s.name != "conc_task" || s.parent == 0));
+}

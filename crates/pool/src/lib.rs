@@ -43,6 +43,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use soc_obs::{counter, gauge};
+
 /// Largest number of tasks a worker claims from the injector at once.
 /// Bounds worst-case imbalance at the tail to `INJECTOR_BATCH_CAP − 1`
 /// tasks stuck behind a straggler before stealing kicks in.
@@ -116,6 +118,7 @@ impl Pool {
                             // task still releases its slot and peers spinning
                             // on `remaining` can terminate.
                             let _finish = Finish(&queues.remaining);
+                            counter!("pool.tasks_executed").inc();
                             let value = f(task);
                             // Safety: `next_task` hands out each index exactly
                             // once, so this worker is the sole writer of slot
@@ -181,18 +184,35 @@ impl Queues {
     /// The next task for `worker`, or `None` once all tasks finished.
     /// Order: own deque front → injector batch → steal → spin-wait.
     fn next_task(&self, worker: usize) -> Option<usize> {
+        // Idle accounting: the stopwatch starts at the first failed
+        // acquisition attempt and stops when a task arrives (or the pool
+        // drains) — pure spin-wait time, not queue-lock time.
+        let mut idle_since: Option<u64> = None;
+        let credit_idle = |idle_since: Option<u64>| {
+            if let Some(t0) = idle_since {
+                counter!("pool.idle_ns").add(soc_obs::clock::saturating_delta_ns(
+                    t0,
+                    soc_obs::clock::now_ns(),
+                ));
+            }
+        };
         loop {
-            if let Some(t) = self.lock_local(worker).pop_front() {
-                return Some(t);
-            }
-            if let Some(t) = self.claim_from_injector(worker) {
-                return Some(t);
-            }
-            if let Some(t) = self.steal(worker) {
+            // Own-deque pop is a separate statement: its guard must drop
+            // before `claim_from_injector`/`steal` re-lock local deques.
+            let own = self.lock_local(worker).pop_front();
+            let got = own
+                .or_else(|| self.claim_from_injector(worker))
+                .or_else(|| self.steal(worker));
+            if let Some(t) = got {
+                credit_idle(idle_since);
                 return Some(t);
             }
             if self.remaining.load(Ordering::Acquire) == 0 {
+                credit_idle(idle_since);
                 return None;
+            }
+            if idle_since.is_none() {
+                idle_since = soc_obs::metrics_then_now();
             }
             // Peers still execute claimed tasks (which we cannot steal);
             // yield until they finish or new steals open up.
@@ -216,6 +236,7 @@ impl Queues {
                 }
             }
         }
+        gauge!("pool.queue_depth").set(injector.len() as i64);
         Some(first)
     }
 
@@ -232,6 +253,7 @@ impl Queues {
                 (0..take).filter_map(|_| v.pop_back()).collect()
             };
             if let Some(first) = stolen.pop() {
+                counter!("pool.tasks_stolen").add((stolen.len() + 1) as u64);
                 // `stolen` was popped back-to-front, so the remaining
                 // entries are in descending index order; reverse to keep
                 // the thief scanning ascending indices like an owner.

@@ -25,6 +25,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtOrd};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use soc_obs::{counter, histogram};
+
 use crate::model::{LpStatus, MipOptions, MipSolution, Model, Sense, SolveError, SolveStats};
 use crate::simplex::{self, Engine, EngineLp, Snapshot};
 
@@ -251,7 +253,23 @@ impl Search<'_> {
         }
         self.nodes.fetch_add(1, AtOrd::SeqCst);
 
+        let lp_start = soc_obs::metrics_then_now();
         let lp = self.solve_node_lp(engine, &node)?;
+        if let Some(t0) = lp_start {
+            let depth = node.fixings.len();
+            let us = soc_obs::clock::elapsed_us(t0);
+            histogram!("solver.lp_us").record(us);
+            histogram!("solver.node_depth").record(depth as u64);
+            // Depth-banded LP time: warm dives should make deep nodes
+            // cheaper than the root band, and these histograms show it.
+            let band = match depth {
+                0 => histogram!("solver.lp_us.depth0"),
+                1..=3 => histogram!("solver.lp_us.depth1_3"),
+                4..=15 => histogram!("solver.lp_us.depth4_15"),
+                _ => histogram!("solver.lp_us.depth16p"),
+            };
+            band.record(us);
+        }
         self.lp_pivots.fetch_add(lp.pivots, AtOrd::Relaxed);
         self.dual_pivots.fetch_add(lp.dual_pivots, AtOrd::Relaxed);
         match lp.status {
@@ -411,6 +429,7 @@ impl Search<'_> {
 }
 
 pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<MipSolution, SolveError> {
+    let _span = soc_obs::span("solve_mip");
     let to_max = |obj: f64| match model.sense {
         Sense::Maximize => obj,
         Sense::Minimize => -obj,
@@ -508,6 +527,17 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<MipSolution, Sol
         presolved_vars: 0,
         threads,
     };
+    // Mirror the per-solve stats into the process-wide registry so batch
+    // runs accumulate totals without threading SolveStats around.
+    if soc_obs::metrics_enabled() {
+        counter!("solver.nodes").add(stats.nodes as u64);
+        counter!("solver.lp_pivots").add(stats.lp_pivots as u64);
+        counter!("solver.dual_pivots").add(stats.dual_pivots as u64);
+        counter!("solver.warm_solves").add(stats.warm_solves as u64);
+        counter!("solver.cold_solves").add(stats.cold_solves as u64);
+        counter!("solver.warm_failures").add(stats.warm_failures as u64);
+        counter!("solver.pre_bound_pruned").add(stats.pre_bound_pruned as u64);
+    }
 
     match incumbent {
         Some(values) => Ok(MipSolution {

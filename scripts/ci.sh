@@ -21,4 +21,7 @@ cargo test -q --offline --workspace
 echo "==> solver smoke bench (release, budgeted node limit)"
 cargo test -q --release --offline -p soc-bench smoke_warm_solver_proves_within_node_budget -- --ignored
 
+echo "==> observability overhead smoke (release, <=5% contract)"
+cargo test -q --release --offline -p soc-bench smoke_obs_overhead_within_contract -- --ignored
+
 echo "CI OK"
