@@ -21,10 +21,15 @@ impl InlineObject {
         Self::default()
     }
 
-    /// Appends a string-valued field. The value is not escaped; bench
-    /// names are ASCII identifiers and config labels.
+    /// Appends a string-valued field. Name and value are escaped through
+    /// the workspace-shared routine, so config labels containing quotes,
+    /// backslashes, or control characters stay valid JSON.
     pub fn str(mut self, name: &str, value: &str) -> Self {
-        self.parts.push(format!("\"{name}\": \"{value}\""));
+        self.parts.push(format!(
+            "{}: {}",
+            soc_obs::json::quote(name),
+            soc_obs::json::quote(value)
+        ));
         self
     }
 
@@ -56,16 +61,20 @@ impl BenchJson {
     pub fn new(experiment: &str, scale: Scale) -> Self {
         Self {
             fields: vec![
-                format!("\"experiment\": \"{experiment}\""),
+                format!("\"experiment\": {}", soc_obs::json::quote(experiment)),
                 format!("\"scale\": \"{scale:?}\""),
             ],
             configs: Vec::new(),
         }
     }
 
-    /// Appends a string-valued header field.
+    /// Appends a string-valued header field (name and value escaped).
     pub fn str_field(mut self, name: &str, value: &str) -> Self {
-        self.fields.push(format!("\"{name}\": \"{value}\""));
+        self.fields.push(format!(
+            "{}: {}",
+            soc_obs::json::quote(name),
+            soc_obs::json::quote(value)
+        ));
         self
     }
 
@@ -126,5 +135,21 @@ mod tests {
     fn empty_configs_render_an_empty_array() {
         let json = BenchJson::new("demo", Scale::Full).render();
         assert!(json.contains("\"configs\": [\n  ]"));
+    }
+
+    #[test]
+    fn hostile_labels_are_escaped() {
+        let json = BenchJson::new("de\"mo", Scale::Quick)
+            .str_field("label", "line\nbreak \\ and \u{1} and 🚗")
+            .config(InlineObject::new().str("name", "a\"b"))
+            .render();
+        assert!(json.contains("\"experiment\": \"de\\\"mo\""), "{json}");
+        assert!(
+            json.contains("\"label\": \"line\\nbreak \\\\ and \\u0001 and 🚗\""),
+            "{json}"
+        );
+        assert!(json.contains("{\"name\": \"a\\\"b\"}"), "{json}");
+        // Still one config per line: the raw newline was escaped away.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

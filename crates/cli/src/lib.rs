@@ -11,6 +11,7 @@
 //! soc per-attr --log FILE --tuple BITS [--algo NAME]
 //! soc stats    --log FILE
 //! soc generate real|synthetic|cars [--queries N] [--attrs M] [--cars N] [--seed S]
+//! soc serve    [--port N] [--host H] [--threads N] [--max-conns N]
 //! ```
 //!
 //! Query logs and databases use the text format of [`soc_data::io`].
@@ -72,13 +73,17 @@ usage:
   soc per-attr --log FILE --tuple BITS [--algo NAME]
   soc stats    --log FILE
   soc generate real|synthetic|cars [--queries N] [--attrs M] [--cars N] [--seed S]
+  soc serve    [--port N] [--host H] [--threads N] [--max-conns N]
 
 algorithms: brute ilp mfi mfi-det attr cumul queries local (default: mfi)
 --project solves on the tuple-projected instance; --workers N mines MFIs
 with N threads (mfi only); --stats prints branch-and-bound counters
 (nodes, LP pivots, warm-start hit rate — ilp only); --metrics prints the
 process metric registry after solving (any algorithm); --trace-out writes
-tracing spans as JSON lines to PATH";
+tracing spans as JSON lines to PATH
+
+serve runs the JSON-lines TCP service (see PROTOCOL.md); --port 0 (the
+default) binds an ephemeral port, announced on stdout";
 
 /// Abstraction over the filesystem so tests can inject content.
 pub trait FileSource {
@@ -220,7 +225,13 @@ fn parse_tuple(bits: &str, schema: &Schema) -> Result<Tuple, CliError> {
 fn describe(retained: &soc_data::AttrSet, schema: &Schema) -> String {
     retained
         .iter()
-        .map(|i| schema.name(AttrId(i as u32)).to_string())
+        .map(|i| {
+            schema
+                .name(AttrId(
+                    u32::try_from(i).expect("attr index exceeds u32::MAX"),
+                ))
+                .to_string()
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
@@ -236,6 +247,7 @@ pub fn run(args: &[String], files: &dyn FileSource) -> Result<String, CliError> 
         "per-attr" => cmd_per_attr(rest, files),
         "stats" => cmd_stats(rest, files),
         "generate" => cmd_generate(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(usage(format!("unknown command {other:?}"))),
     }
@@ -455,7 +467,9 @@ fn cmd_stats(rest: &[String], files: &dyn FileSource) -> Result<String, CliError
     for &(i, f) in top.iter().take(5) {
         out.push_str(&format!(
             "  {:<20} {}\n",
-            log.schema().name(AttrId(i as u32)),
+            log.schema().name(AttrId(
+                u32::try_from(i).expect("attr index exceeds u32::MAX")
+            )),
             f
         ));
     }
@@ -513,6 +527,54 @@ fn cmd_generate(rest: &[String]) -> Result<String, CliError> {
         }
         other => Err(usage(format!("unknown generate kind {other:?}"))),
     }
+}
+
+fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
+    let mut args = Args::new(rest);
+    let port = match args.value("--port")? {
+        Some(s) => s
+            .parse::<u16>()
+            .map_err(|_| usage(format!("--port must be 0..=65535, got {s:?}")))?,
+        None => 0,
+    };
+    let host = args.value("--host")?.unwrap_or("127.0.0.1").to_string();
+    let threads = args
+        .value("--threads")?
+        .map(|s| parse_usize(s, "--threads"))
+        .transpose()?
+        .unwrap_or(2);
+    if threads == 0 {
+        return Err(usage("--threads must be at least 1"));
+    }
+    let max_conns = args
+        .value("--max-conns")?
+        .map(|s| parse_usize(s, "--max-conns"))
+        .transpose()?
+        .unwrap_or(32);
+    if max_conns == 0 {
+        return Err(usage("--max-conns must be at least 1"));
+    }
+    args.finish()?;
+
+    let cfg = soc_serve::ServerConfig {
+        host,
+        port,
+        threads,
+        max_conns,
+        ..soc_serve::ServerConfig::default()
+    };
+    let server = soc_serve::Server::bind(cfg).map_err(|e| runtime(format!("bind: {e}")))?;
+    // serve() blocks until shutdown and run() only returns output at the
+    // end, so the bound address (essential with --port 0) must be
+    // announced eagerly.
+    println!("soc-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = server.serve().map_err(|e| runtime(format!("serve: {e}")))?;
+    Ok(format!(
+        "served {} connections ({} rejected at capacity), {} frames\n",
+        report.conns_accepted, report.conns_rejected, report.requests
+    ))
 }
 
 #[cfg(test)]
@@ -842,5 +904,20 @@ attrs = ac, four_door, turbo, power_doors, auto_trans, power_brakes
     fn help_prints_usage() {
         let out = run_ok(&["help"]);
         assert!(out.contains("usage:"));
+        assert!(out.contains("serve"));
+    }
+
+    #[test]
+    fn serve_argument_errors() {
+        // All validation happens before any socket is bound, so these
+        // fail fast even in a sandboxed test environment.
+        assert_eq!(run_err(&["serve", "--port", "banana"]).code, 2);
+        assert_eq!(run_err(&["serve", "--port", "70000"]).code, 2);
+        assert_eq!(run_err(&["serve", "--port", "-1"]).code, 2);
+        assert_eq!(run_err(&["serve", "--threads", "0"]).code, 2);
+        assert_eq!(run_err(&["serve", "--threads", "x"]).code, 2);
+        assert_eq!(run_err(&["serve", "--max-conns", "0"]).code, 2);
+        assert_eq!(run_err(&["serve", "--bogus"]).code, 2);
+        assert_eq!(run_err(&["serve", "--port"]).code, 2); // missing value
     }
 }

@@ -1,0 +1,110 @@
+//! Release-mode smoke test for `soc serve`: boots the real binary on an
+//! ephemeral port, drives hello → load → solve → stats → shutdown over
+//! a real socket, and checks the process exits cleanly.
+//!
+//! Ignored by default (it spawns the compiled binary); `scripts/ci.sh`
+//! runs it explicitly with `--ignored` in release mode.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct ServerProc {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server() -> (ServerProc, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_soc"))
+        .args(["serve", "--port", "0", "--threads", "2", "--max-conns", "8"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn soc serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    // First line announces the bound address.
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in announce line")
+        .to_string();
+    assert!(
+        line.contains("listening on"),
+        "unexpected announce line {line:?}"
+    );
+    (ServerProc { child, stdout }, addr)
+}
+
+fn roundtrip(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream, request: &str) -> String {
+    stream.write_all(request.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(!reply.is_empty(), "server hung up on {request:?}");
+    reply.trim_end().to_string()
+}
+
+#[test]
+#[ignore = "spawns the compiled binary; run explicitly via scripts/ci.sh"]
+fn serve_smoke() {
+    let (mut server, addr) = spawn_server();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to announced address");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let reply = roundtrip(&mut reader, &mut stream, r#"{"type":"hello","version":1}"#);
+    assert!(reply.contains("\"hello_ok\""), "{reply}");
+
+    let reply = roundtrip(
+        &mut reader,
+        &mut stream,
+        r#"{"type":"load","session":"cars","data":"110000\n100100\n010100\n000101\n001010\n"}"#,
+    );
+    assert!(reply.contains("\"load_ok\""), "{reply}");
+    assert!(reply.contains("\"queries\":5"), "{reply}");
+
+    let reply = roundtrip(
+        &mut reader,
+        &mut stream,
+        r#"{"type":"solve","session":"cars","tuple":"110111","m":3,"algo":"ilp"}"#,
+    );
+    assert!(reply.contains("\"solve_ok\""), "{reply}");
+    assert!(reply.contains("\"satisfied\":3"), "{reply}");
+
+    // Malformed input gets a typed error on the same connection.
+    let reply = roundtrip(&mut reader, &mut stream, "definitely not json");
+    assert!(reply.contains("\"error\""), "{reply}");
+    assert!(reply.contains("\"parse\""), "{reply}");
+
+    let reply = roundtrip(&mut reader, &mut stream, r#"{"type":"stats"}"#);
+    assert!(reply.contains("\"stats_ok\""), "{reply}");
+    assert!(reply.contains("serve.solves"), "{reply}");
+
+    let reply = roundtrip(&mut reader, &mut stream, r#"{"type":"shutdown"}"#);
+    assert!(reply.contains("\"shutdown_ok\""), "{reply}");
+    drop(stream);
+    drop(reader);
+
+    // The process drains and exits cleanly on its own (no kill needed).
+    let status = server.child.wait().expect("wait for exit");
+    assert!(status.success(), "server exited with {status:?}");
+
+    // Its final report lands on stdout after the accept loop ends.
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server.stdout, &mut rest).expect("drain stdout");
+    assert!(rest.contains("served 1 connections"), "report: {rest:?}");
+}

@@ -59,7 +59,7 @@ impl AttrSet {
             Words::Heap(vec![0; word_count(universe)])
         };
         Self {
-            universe: universe as u32,
+            universe: u32::try_from(universe).expect("attribute universe exceeds u32::MAX"),
             words,
         }
     }

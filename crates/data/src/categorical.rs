@@ -72,7 +72,7 @@ impl CatSchema {
             .domain
             .iter()
             .position(|x| x == v)
-            .map(|i| i as u32)
+            .map(|i| u32::try_from(i).expect("domain index exceeds u32::MAX"))
     }
 }
 

@@ -81,10 +81,12 @@ impl Database {
 
     /// Iterates `(TupleId, &Tuple)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.tuples
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TupleId(i as u32), t))
+        self.tuples.iter().enumerate().map(|(i, t)| {
+            (
+                TupleId(u32::try_from(i).expect("tuple index exceeds u32::MAX")),
+                t,
+            )
+        })
     }
 
     /// Boolean retrieval `R(q)`: ids of tuples matching the query.

@@ -48,7 +48,7 @@ impl AttrMapping {
                 kept.last().is_none_or(|&prev| prev < i),
                 "kept indices must be strictly ascending"
             );
-            compact_of[i] = kept.len() as u32;
+            compact_of[i] = u32::try_from(kept.len()).expect("projection exceeds u32::MAX attrs");
             kept.push(i);
         }
         Self {

@@ -161,10 +161,12 @@ impl QueryLog {
 
     /// Iterates `(QueryId, &Query)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Query)> {
-        self.queries
-            .iter()
-            .enumerate()
-            .map(|(i, q)| (QueryId(i as u32), q))
+        self.queries.iter().enumerate().map(|(i, q)| {
+            (
+                QueryId(u32::try_from(i).expect("query index exceeds u32::MAX")),
+                q,
+            )
+        })
     }
 
     /// The lazily built inverted bitmap index over this log. The first

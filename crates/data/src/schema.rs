@@ -46,7 +46,10 @@ impl Schema {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         let mut by_name = HashMap::with_capacity(names.len());
         for (i, n) in names.iter().enumerate() {
-            let prev = by_name.insert(n.clone(), AttrId(i as u32));
+            let prev = by_name.insert(
+                n.clone(),
+                AttrId(u32::try_from(i).expect("schema exceeds u32::MAX attributes")),
+            );
             assert!(prev.is_none(), "duplicate attribute name {n:?}");
         }
         Self { names, by_name }
@@ -89,10 +92,12 @@ impl Schema {
 
     /// Iterates over `(AttrId, name)` pairs in schema order.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (AttrId(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| {
+            (
+                AttrId(u32::try_from(i).expect("attribute index exceeds u32::MAX")),
+                n.as_str(),
+            )
+        })
     }
 }
 

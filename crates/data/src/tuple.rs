@@ -97,7 +97,11 @@ impl Tuple {
         let names: Vec<&str> = self
             .attrs
             .iter()
-            .map(|i| schema.name(crate::AttrId(i as u32)))
+            .map(|i| {
+                schema.name(crate::AttrId(
+                    u32::try_from(i).expect("attr index fits u32"),
+                ))
+            })
             .collect();
         names.join(", ")
     }

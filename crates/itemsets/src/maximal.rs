@@ -646,7 +646,7 @@ mod parallel_tests {
         let t = sample();
         for workers in [1, 2, 5] {
             let pool = Pool::new(workers);
-            let run = || miner(2, StopRule::SeenTwice).mine_parallel(&t, 0xD5EE_D, &pool);
+            let run = || miner(2, StopRule::SeenTwice).mine_parallel(&t, 0x000D_5EED, &pool);
             let (a, b) = (run(), run());
             assert_eq!(canon(a.itemsets.clone()), canon(b.itemsets.clone()));
             assert_eq!(a.times_discovered, b.times_discovered);

@@ -1,0 +1,95 @@
+//! Shared JSON string escaping.
+//!
+//! The workspace hand-rolls every JSON artifact (no serialization crates
+//! in the offline dependency set), and PR 5's audit found three emitters
+//! — `soc_bench::json`, [`crate::spans_to_json_lines`], and the CLI's
+//! `--metrics=json` — each interpolating raw strings into output. A
+//! metric or span name containing `"`, `\`, or a control character
+//! produced invalid JSON. All emitters (including the soc-serve protocol
+//! writer) now route string values through this one routine.
+//!
+//! Escaping follows RFC 8259 §7: `"` and `\` are backslash-escaped, the
+//! short forms `\n \r \t \b \f` are used where they exist, all other
+//! control characters below U+0020 become `\u00XX`, and everything else
+//! — including non-ASCII and emoji — passes through verbatim (the
+//! output is UTF-8).
+
+use std::borrow::Cow;
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding
+/// quotes — callers choose the quoting context).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` with JSON string escaping applied; borrows when nothing needs
+/// escaping (the overwhelmingly common case for metric and span names).
+pub fn escape(s: &str) -> Cow<'_, str> {
+    if s.chars()
+        .all(|c| c != '"' && c != '\\' && (c as u32) >= 0x20)
+    {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    escape_into(&mut out, s);
+    Cow::Owned(out)
+}
+
+/// `s` rendered as a complete JSON string literal, quotes included.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_borrows() {
+        assert!(matches!(escape("plain.metric_name"), Cow::Borrowed(_)));
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn boundary_characters() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\rb"), "a\\rb");
+        assert_eq!(escape("a\tb"), "a\\tb");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("\u{1f}"), "\\u001f");
+        assert_eq!(escape("\u{8}\u{c}"), "\\b\\f");
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(escape("héllo"), "héllo");
+        assert_eq!(escape("日本語"), "日本語");
+        assert_eq!(escape("🚗 cars"), "🚗 cars");
+    }
+
+    #[test]
+    fn quote_wraps() {
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quote(""), "\"\"");
+    }
+}

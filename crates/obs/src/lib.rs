@@ -47,6 +47,7 @@
 #![warn(clippy::all)]
 
 pub mod clock;
+pub mod json;
 mod metrics;
 mod trace;
 

@@ -141,14 +141,18 @@ fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
-/// The exclusive upper bound of bucket `b` (`u64::MAX` for the top one).
+/// The largest value bucket `b` can hold: 0 for bucket 0 (which holds
+/// only the value 0), `2^b − 1` for `1 ≤ b ≤ 63`, and `u64::MAX` for the
+/// top bucket. Inclusive so quantile labels rendered as `p50<=` are
+/// literally true at every edge — the previous exclusive bound was off
+/// by one for buckets 1–63 and silently switched to inclusive at 64.
 fn bucket_upper(b: usize) -> u64 {
     if b == 0 {
-        1
+        0
     } else if b >= 64 {
         u64::MAX
     } else {
-        1u64 << b
+        (1u64 << b) - 1
     }
 }
 
@@ -175,7 +179,13 @@ impl Histogram {
         }
         let shard = &self.shards[shard_id() % self.shards.len()];
         shard.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        shard.sum.fetch_add(v, Ordering::Relaxed);
+        // Saturating, not wrapping: two `u64::MAX` samples must not fold
+        // the shard sum back to small values (`fetch_add` wraps).
+        let _ = shard
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
         shard.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -189,7 +199,7 @@ impl Histogram {
             for (b, cell) in buckets.iter_mut().zip(&s.buckets) {
                 *b += cell.load(Ordering::Relaxed);
             }
-            sum += s.sum.load(Ordering::Relaxed);
+            sum = sum.saturating_add(s.sum.load(Ordering::Relaxed));
             max = max.max(s.max.load(Ordering::Relaxed));
         }
         HistSnapshot {
@@ -234,8 +244,9 @@ impl HistSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing quantile `q in [0, 1]`
-    /// (0 when empty). Log₂ buckets bound the estimate within 2×.
+    /// Inclusive upper bound of the bucket containing quantile
+    /// `q in [0, 1]` (0 when empty): the quantile value is `<=` the
+    /// returned number. Log₂ buckets bound the estimate within 2×.
     pub fn quantile_upper(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -420,7 +431,7 @@ impl Snapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         for (i, row) in self.rows.iter().enumerate() {
-            out.push_str(&format!("  \"{}\": ", row.name));
+            out.push_str(&format!("  {}: ", crate::json::quote(&row.name)));
             match &row.value {
                 MetricValue::Counter(v) => out.push_str(&v.to_string()),
                 MetricValue::Gauge(v) => out.push_str(&v.to_string()),
@@ -488,9 +499,36 @@ mod tests {
         assert_eq!(bucket_of(1023), 10);
         assert_eq!(bucket_of(1024), 11);
         assert_eq!(bucket_of(u64::MAX), 64);
-        assert_eq!(bucket_upper(0), 1);
-        assert_eq!(bucket_upper(10), 1024);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(63), u64::MAX >> 1);
         assert_eq!(bucket_upper(64), u64::MAX);
+        // The top-bucket boundary: 2^63 − 1 is the last value of bucket
+        // 63, 2^63 the first of bucket 64.
+        assert_eq!(bucket_of((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_of(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn histogram_edge_values_zero_and_max() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        let h = global().histogram("test.metrics.edges");
+        h.reset();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum must saturate, not wrap
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[64], 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.sum, u64::MAX, "sum saturates instead of wrapping");
+        // Quantile bounds stay inside the recorded range at both edges.
+        assert_eq!(s.quantile_upper(0.0), 0);
+        assert_eq!(s.quantile_upper(1.0), u64::MAX);
+        crate::disable_all();
     }
 
     #[test]
@@ -546,9 +584,49 @@ mod tests {
             h.record(3000);
         }
         let s = h.snapshot();
-        assert_eq!(s.quantile_upper(0.5), 16);
-        assert_eq!(s.quantile_upper(0.99), 4096);
-        assert_eq!(s.quantile_upper(0.0), 16); // rank floors at 1
+        assert_eq!(s.quantile_upper(0.5), 15); // bucket [8, 16) inclusive upper
+        assert_eq!(s.quantile_upper(0.99), 4095); // bucket [2048, 4096)
+        assert_eq!(s.quantile_upper(0.0), 15); // rank floors at 1
+        crate::disable_all();
+    }
+
+    #[test]
+    fn duplicate_registration_from_two_call_sites_shares_one_metric() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        // Two independent lookups of the same name must intern to the
+        // same leaked cell (the `stats` endpoint serves these numbers;
+        // a per-call-site duplicate would silently split the count).
+        let a = global().counter("test.metrics.dup_name");
+        let b = global().counter("test.metrics.dup_name");
+        assert!(std::ptr::eq(a, b));
+        a.reset();
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+        // And only one row appears in the snapshot.
+        let rows = global().snapshot().with_prefix("test.metrics.dup_name");
+        assert_eq!(rows.rows.len(), 1);
+        crate::disable_all();
+    }
+
+    #[test]
+    fn json_escapes_hostile_metric_names() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::enable_metrics();
+        // Names are &'static str from call sites, but nothing stops a
+        // call site from embedding quotes or control characters.
+        let c = global().counter("test.metrics.\"quoted\"\nname");
+        c.reset();
+        c.inc();
+        let json = global()
+            .snapshot()
+            .with_prefix("test.metrics.\"quoted\"")
+            .to_json();
+        assert!(
+            json.contains("\"test.metrics.\\\"quoted\\\"\\nname\": 1"),
+            "{json}"
+        );
         crate::disable_all();
     }
 

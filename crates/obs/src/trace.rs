@@ -210,9 +210,9 @@ pub fn spans_to_json_lines(records: &[SpanRecord]) -> String {
     let mut out = String::new();
     for r in records {
         out.push_str(&format!(
-            "{{\"name\": \"{}\", \"id\": {}, \"parent\": {}, \"thread\": {}, \
+            "{{\"name\": {}, \"id\": {}, \"parent\": {}, \"thread\": {}, \
              \"start_us\": {}, \"dur_us\": {}}}\n",
-            r.name,
+            crate::json::quote(r.name),
             r.id,
             r.parent,
             r.thread,
@@ -337,6 +337,26 @@ mod tests {
         // total 10ms, self 6ms.
         assert!(parent_line.contains("10.000"), "{flame}");
         assert!(parent_line.contains("6.000"), "{flame}");
+    }
+
+    #[test]
+    fn json_lines_escape_hostile_span_names() {
+        let records = vec![SpanRecord {
+            name: "bad\"name\\with\ncontrol\u{1}and🚗",
+            id: 7,
+            parent: 0,
+            thread: 1,
+            start_ns: 0,
+            dur_ns: 10,
+        }];
+        let json = spans_to_json_lines(&records);
+        assert_eq!(json.lines().count(), 1);
+        assert!(
+            json.contains("\"bad\\\"name\\\\with\\ncontrol\\u0001and🚗\""),
+            "{json}"
+        );
+        // The line itself must stay one line: the raw \n was escaped.
+        assert!(json.trim_end().find('\n').is_none(), "{json}");
     }
 
     #[test]

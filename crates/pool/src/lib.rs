@@ -38,6 +38,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod service;
+
+pub use service::{Rejected, Service};
+
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};

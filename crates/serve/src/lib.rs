@@ -1,0 +1,49 @@
+//! # soc-serve
+//!
+//! A long-running TCP service for SOC-CB-QL solving: newline-delimited
+//! JSON frames over `std::net` sockets, with zero external
+//! dependencies. See `PROTOCOL.md` at the repository root for the wire
+//! grammar and `DESIGN.md` for the admission-control and shutdown
+//! design.
+//!
+//! The protocol (version 1) in one glance:
+//!
+//! ```text
+//! → {"type":"hello","version":1}
+//! ← {"type":"hello_ok","version":1,"server":"soc-serve"}
+//! → {"type":"load","session":"cars","data":"110000\n100100\n"}
+//! ← {"type":"load_ok","session":"cars","queries":2,"total_weight":2,"attrs":6}
+//! → {"type":"solve","session":"cars","tuple":"110111","m":3,"id":1}
+//! ← {"type":"solve_ok","retained":"110100","satisfied":2,"algo":"mfi","id":1}
+//! → {"type":"shutdown"}
+//! ← {"type":"shutdown_ok"}
+//! ```
+//!
+//! Every malformed input yields a typed `error` frame (`code`,
+//! `message`, echoed `id`), never a dropped connection or a panic.
+//! Batch solves stream `solve_result` frames in completion order off
+//! the shared [`soc_pool::Service`] workers, ending with
+//! `solve_batch_done`.
+//!
+//! ```no_run
+//! use soc_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! let handle = server.handle(); // stops the server from another thread
+//! let report = server.serve().unwrap();
+//! println!("served {} connections", report.conns_accepted);
+//! # let _ = handle;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod json;
+pub mod proto;
+mod server;
+mod sessions;
+
+pub use proto::{Algo, ErrorCode, Frame, ProtoError, Request, SolveParams, PROTOCOL_VERSION};
+pub use server::{ServeReport, Server, ServerConfig, ServerHandle};
+pub use sessions::{SessionInfo, SessionStore};

@@ -1,0 +1,158 @@
+//! Fuzz-style table tests for the frame parser: hostile, truncated, and
+//! type-confused inputs must come back as typed errors — never a panic.
+
+use soc_serve::{ErrorCode, PROTOCOL_VERSION};
+
+fn code_of(line: &str) -> Option<ErrorCode> {
+    soc_serve::proto::parse_frame(line)
+        .body
+        .err()
+        .map(|e| e.code)
+}
+
+#[test]
+fn malformed_frame_table() {
+    use ErrorCode::*;
+    let table: &[(&str, ErrorCode)] = &[
+        // Not JSON at all.
+        ("", Parse),
+        ("   ", Parse),
+        ("hello", Parse),
+        ("GET / HTTP/1.1", Parse),
+        ("\u{1}\u{2}\u{3}", Parse),
+        ("{", Parse),
+        ("}", Parse),
+        (r#"{"type":"ping""#, Parse),
+        (r#"{"type":"ping"} trailing"#, Parse),
+        (r#"{"type":"ping"}{"type":"ping"}"#, Parse),
+        // JSON, but not an object.
+        ("null", Parse),
+        ("42", Parse),
+        (r#""ping""#, Parse),
+        (r#"["type","ping"]"#, Parse),
+        // Objects with a broken or missing type.
+        ("{}", MissingField),
+        (r#"{"tupe":"ping"}"#, MissingField),
+        (r#"{"type":42}"#, BadField),
+        (r#"{"type":null}"#, BadField),
+        (r#"{"type":"warp"}"#, UnknownType),
+        (r#"{"type":""}"#, UnknownType),
+        // Bad ids.
+        (r#"{"type":"ping","id":[1]}"#, BadField),
+        (r#"{"type":"ping","id":{"a":1}}"#, BadField),
+        (r#"{"type":"ping","id":true}"#, BadField),
+        // hello field errors.
+        (r#"{"type":"hello"}"#, MissingField),
+        (r#"{"type":"hello","version":"one"}"#, BadField),
+        (r#"{"type":"hello","version":-1}"#, BadField),
+        (r#"{"type":"hello","version":1.5}"#, BadField),
+        (r#"{"type":"hello","version":1e300}"#, BadField),
+        // load / ingest field errors.
+        (r#"{"type":"load"}"#, MissingField),
+        (r#"{"type":"load","session":"s"}"#, MissingField),
+        (r#"{"type":"load","session":7,"data":""}"#, BadField),
+        (r#"{"type":"load","session":"s","data":[1]}"#, BadField),
+        (r#"{"type":"ingest","data":"x"}"#, MissingField),
+        // solve field errors.
+        (r#"{"type":"solve"}"#, MissingField),
+        (
+            r#"{"type":"solve","session":"s","tuple":"1"}"#,
+            MissingField,
+        ),
+        (
+            r#"{"type":"solve","session":"s","tuple":"1","m":"two"}"#,
+            BadField,
+        ),
+        (
+            r#"{"type":"solve","session":"s","tuple":"1","m":2.5}"#,
+            BadField,
+        ),
+        (
+            r#"{"type":"solve","session":"s","tuple":"1","m":1,"algo":"quantum"}"#,
+            BadField,
+        ),
+        (
+            r#"{"type":"solve","session":"s","tuple":"1","m":1,"algo":4}"#,
+            BadField,
+        ),
+        (
+            r#"{"type":"solve","session":"s","tuple":"1","m":1,"project":"yes"}"#,
+            BadField,
+        ),
+        (
+            r#"{"type":"solve","session":"s","tuple":7,"m":1}"#,
+            BadField,
+        ),
+        // solve_batch field errors.
+        (
+            r#"{"type":"solve_batch","session":"s","m":1}"#,
+            MissingField,
+        ),
+        (
+            r#"{"type":"solve_batch","session":"s","m":1,"tuples":"1"}"#,
+            BadField,
+        ),
+        (
+            r#"{"type":"solve_batch","session":"s","m":1,"tuples":[1]}"#,
+            BadField,
+        ),
+        (
+            r#"{"type":"solve_batch","session":"s","m":1,"tuples":["1",null]}"#,
+            BadField,
+        ),
+    ];
+    for (line, want) in table {
+        assert_eq!(
+            code_of(line),
+            Some(*want),
+            "input {line:?} should fail with {want:?}"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_frame_is_a_typed_error() {
+    let valid =
+        r#"{"type":"solve","session":"cars","tuple":"110111","m":3,"algo":"mfi","id":"r-1"}"#;
+    assert!(soc_serve::proto::parse_frame(valid).body.is_ok());
+    for cut in 0..valid.len() {
+        if !valid.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &valid[..cut];
+        let frame = soc_serve::proto::parse_frame(prefix);
+        assert!(
+            frame.body.is_err(),
+            "truncation at {cut} ({prefix:?}) should not parse"
+        );
+    }
+}
+
+#[test]
+fn deep_nesting_and_huge_numbers_do_not_panic() {
+    let deep = format!(
+        r#"{{"type":"ping","x":{}{}}}"#,
+        "[".repeat(200),
+        "]".repeat(200)
+    );
+    assert_eq!(code_of(&deep), Some(ErrorCode::Parse));
+    let huge = r#"{"type":"hello","version":99999999999999999999999999999}"#;
+    assert_eq!(code_of(huge), Some(ErrorCode::BadField));
+    // A version that is valid JSON but above 2^53 is rejected, not
+    // silently truncated by the f64 round-trip.
+    let big = r#"{"type":"hello","version":9007199254740993}"#;
+    assert_eq!(code_of(big), Some(ErrorCode::BadField));
+}
+
+#[test]
+fn unknown_fields_are_ignored_for_forward_compatibility() {
+    let f = soc_serve::proto::parse_frame(
+        r#"{"type":"hello","version":1,"future_flag":true,"blob":{"k":[1,2]}}"#,
+    );
+    assert_eq!(
+        f.body.unwrap(),
+        soc_serve::Request::Hello {
+            version: PROTOCOL_VERSION
+        }
+    );
+}

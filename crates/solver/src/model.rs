@@ -129,7 +129,7 @@ impl Model {
         assert!(!lower.is_nan() && !upper.is_nan(), "bounds must not be NaN");
         assert!(lower.is_finite(), "lower bound must be finite");
         assert!(lower <= upper, "lower bound exceeds upper bound");
-        let id = VarId(self.vars.len() as u32);
+        let id = VarId(u32::try_from(self.vars.len()).expect("model exceeds u32::MAX variables"));
         self.vars.push(VarDef {
             lower,
             upper,

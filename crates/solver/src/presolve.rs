@@ -240,7 +240,12 @@ pub fn presolve(model: &Model) -> Presolved {
         for &(j, a) in &row.terms {
             match &states[j as usize] {
                 VarState::Fixed(v) => constant += a * v,
-                VarState::Kept(i) => terms.push((*i as u32, a)),
+                // Checked, not `as`: a kept-variable index past u32::MAX
+                // must abort, not silently alias a low column.
+                VarState::Kept(i) => terms.push((
+                    u32::try_from(*i).expect("kept-variable index exceeds u32::MAX"),
+                    a,
+                )),
             }
         }
         reduced.constraints.push(crate::model::ConstraintDef {

@@ -24,4 +24,7 @@ cargo test -q --release --offline -p soc-bench smoke_warm_solver_proves_within_n
 echo "==> observability overhead smoke (release, <=5% contract)"
 cargo test -q --release --offline -p soc-bench smoke_obs_overhead_within_contract -- --ignored
 
+echo "==> soc-serve smoke (release: ephemeral port, hello/load/solve/stats/shutdown, clean exit)"
+cargo test -q --release --offline -p soc-cli --test serve_smoke -- --ignored
+
 echo "CI OK"
