@@ -415,75 +415,6 @@ pub fn deduplication(scale: Scale) -> Table {
     table
 }
 
-/// Counting-kernel ablation: the naive per-query scans vs the inverted
-/// bitmap index (`LogIndex`), per kernel, across log sizes. The first
-/// indexed call also pays the one-off index build, reported separately —
-/// it is amortized over every subsequent count on the same log.
-pub fn scan_vs_index(scale: Scale) -> Table {
-    let (reps, sizes): (usize, &[usize]) = match scale {
-        Scale::Quick => (200, &[1_000, 5_000]),
-        Scale::Full => (1_000, &[1_000, 5_000, 20_000, 50_000]),
-    };
-    let mut table = Table::new(
-        "Ablation — counting kernels: naive scan vs inverted bitmap index",
-        "kernel/S",
-        vec![
-            "scan µs/call".into(),
-            "index µs/call".into(),
-            "speedup ×".into(),
-            "index build ms".into(),
-        ],
-    );
-    table.note(format!(
-        "{reps} calls per cell; the build cost is paid once per log and \
-         shared by all kernels (blank rows after the first)"
-    ));
-    for &s in sizes {
-        let (log, cars) = crate::figs::synthetic_setup(Scale::Quick, s, 32);
-        let t = &cars[0];
-        let items = soc_data::AttrSet::from_indices(32, [1, 4, 9]);
-        let (build, _) = measure(|| log.index());
-        let micros = |d: std::time::Duration| d.as_secs_f64() * 1e6 / reps as f64;
-        type Kernel<'a> = Box<dyn Fn() -> usize + 'a>;
-        let kernels: Vec<(&str, Kernel, Kernel)> = vec![
-            (
-                "satisfied",
-                Box::new(|| log.satisfied_count_scan(t)),
-                Box::new(|| log.satisfied_count(t)),
-            ),
-            (
-                "cooccurrence",
-                Box::new(|| log.cooccurrence_count_scan(&items)),
-                Box::new(|| log.cooccurrence_count(&items)),
-            ),
-            (
-                "complement",
-                Box::new(|| log.complement_support_scan(&items)),
-                Box::new(|| log.complement_support(&items)),
-            ),
-        ];
-        for (i, (name, scan, indexed)) in kernels.iter().enumerate() {
-            let (scan_t, scan_sum) = measure(|| (0..reps).map(|_| scan()).sum::<usize>());
-            let (idx_t, idx_sum) = measure(|| (0..reps).map(|_| indexed()).sum::<usize>());
-            assert_eq!(scan_sum, idx_sum, "{name} kernel mismatch at S = {s}");
-            table.push_row(
-                format!("{name}/S={s}"),
-                vec![
-                    Cell::Value(micros(scan_t)),
-                    Cell::Value(micros(idx_t)),
-                    Cell::Value(scan_t.as_secs_f64() / idx_t.as_secs_f64().max(1e-12)),
-                    if i == 0 {
-                        Cell::Time(build)
-                    } else {
-                        Cell::Missing
-                    },
-                ],
-            );
-        }
-    }
-    table
-}
-
 /// Miner ablation: the paper's random walk vs deterministic backtracking
 /// enumeration, mining the complemented real-like log across thresholds.
 pub fn miner_comparison(scale: Scale) -> Table {

@@ -7,15 +7,15 @@
 //! apriori preprocess gap dedup index miner drift serving ilp obs all
 //! (default: all)
 //!
-//! `serving`, `ilp`, and `obs` additionally write the machine-readable
-//! `BENCH_serving.json` / `BENCH_ilp.json` / `BENCH_obs.json` into the
-//! current directory.
+//! `serving`, `ilp`, `obs`, and `index` additionally write the
+//! machine-readable `BENCH_serving.json` / `BENCH_ilp.json` /
+//! `BENCH_obs.json` / `BENCH_index.json` into the current directory.
 //!
 //! `--quick` averages over 10 cars and truncates sweeps; the default
 //! (full) scale matches the paper's 100-car averages.
 
 use soc_bench::harness::{Scale, Table};
-use soc_bench::{ablations, figs, ilp, obs, serving};
+use soc_bench::{ablations, figs, ilp, index, obs, serving};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,7 +45,7 @@ fn main() {
         ("preprocess", ablations::preprocessing),
         ("gap", ablations::greedy_gap),
         ("dedup", ablations::deduplication),
-        ("index", ablations::scan_vs_index),
+        ("index", index::index_kernels),
         ("miner", ablations::miner_comparison),
         ("drift", ablations::log_drift),
         ("serving", serving::batch_serving),

@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod figs;
 pub mod harness;
 pub mod ilp;
+pub mod index;
 pub mod json;
 pub mod obs;
 pub mod serving;

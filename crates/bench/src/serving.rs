@@ -316,6 +316,42 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "release-mode smoke bench; run via scripts/ci.sh"]
+    fn smoke_stealing_does_not_lose_to_static_chunking() {
+        // Regression guard for the parallelism-loses-to-serial finding
+        // (BENCH_serving.json once recorded stealing/full at 1.0× and
+        // stealing+parallel-mine at 0.70× of the static baseline):
+        // instance batching in `solve_batch` amortises per-task pool
+        // overhead, so the stealing scheduler must now stay within noise
+        // of — or beat — the chunked split at the default scale, and the
+        // parallel-mine config must no longer trail by 30%.
+        let (_, results) = run_serving(Scale::Quick);
+        let mean = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("config {name} missing"))
+                .mean
+                .as_secs_f64()
+        };
+        let chunked = mean("chunked/full/serial-mine");
+        let stealing = mean("stealing/full/serial-mine");
+        let parallel = mean("stealing/full/parallel-mine");
+        assert!(
+            stealing <= chunked * 1.15,
+            "stealing {:.1} ms vs chunked {:.1} ms — pool overhead regressed",
+            stealing * 1e3,
+            chunked * 1e3
+        );
+        assert!(
+            parallel <= chunked * 1.30,
+            "parallel-mine {:.1} ms vs chunked {:.1} ms — mining overhead regressed",
+            parallel * 1e3,
+            chunked * 1e3
+        );
+    }
+
+    #[test]
     fn all_batch_configs_agree_on_the_objective() {
         // Tiny end-to-end run: every batch configuration must report the
         // same total satisfied weight (MaxFreqItemSets is exact, and

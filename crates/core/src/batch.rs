@@ -12,12 +12,15 @@ use crate::{SocAlgorithm, SocInstance, Solution};
 /// Solves one instance per tuple across a work-stealing pool (input
 /// order is preserved in the output).
 ///
-/// Each instance is one stealable task, so workers that draw cheap
-/// tuples move on to the backlog instead of idling behind a straggler —
-/// per-instance cost varies by orders of magnitude across tuples (and
-/// algorithms), which starves the static split of
-/// [`solve_batch_chunked`]. The result is identical to the sequential
-/// solve in every slot; only the schedule differs.
+/// Tuples are grouped into contiguous stealable tasks by
+/// [`plan_groups`]: small instances are batched together so per-task
+/// pool overhead (queue push, steal synchronisation, result routing)
+/// stops dominating when the batch is a stream of tiny instances, while
+/// expensive instances still close their group early and remain
+/// individually stealable — per-instance cost varies by orders of
+/// magnitude across tuples (and algorithms), which starves the static
+/// split of [`solve_batch_chunked`]. The result is identical to the
+/// sequential solve in every slot; only the schedule differs.
 ///
 /// Algorithms are shared immutably across threads; use
 /// [`crate::SharedMfi`] to share the MFI preprocessing cache as well.
@@ -39,15 +42,52 @@ where
         return Vec::new();
     }
     let _span = soc_obs::span("solve_batch");
-    let pool = Pool::new(threads.min(tuples.len()));
-    pool.map(tuples, |tuple| {
-        let t0 = soc_obs::metrics_then_now();
-        let solution = algorithm.solve(&SocInstance::new(log, tuple, m));
-        if let Some(t0) = t0 {
-            histogram!("serving.instance_us").record(soc_obs::clock::elapsed_us(t0));
+    let groups = plan_groups(tuples, threads);
+    let pool = Pool::new(threads.min(groups.len()));
+    let nested = pool.map(&groups, |group| {
+        tuples[group.clone()]
+            .iter()
+            .map(|tuple| {
+                let t0 = soc_obs::metrics_then_now();
+                let solution = algorithm.solve(&SocInstance::new(log, tuple, m));
+                if let Some(t0) = t0 {
+                    histogram!("serving.instance_us").record(soc_obs::clock::elapsed_us(t0));
+                }
+                solution
+            })
+            .collect::<Vec<_>>()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// Splits the batch into contiguous groups, each one stealable pool
+/// task, using a cheap projected-width cost estimate: an instance's
+/// work scales with `|t|` (the universe the solver effectively runs in
+/// after projection), so `|t| + 1` is the per-tuple cost and a group
+/// closes once it accumulates a quarter of one thread's fair share.
+/// Tiny instances batch up — roughly `4 × threads` tasks total, enough
+/// granularity for stealing to balance — while a wide tuple blows
+/// through the target on its own and never hides a straggler inside a
+/// large batch.
+fn plan_groups(tuples: &[Tuple], threads: usize) -> Vec<std::ops::Range<usize>> {
+    let cost = |t: &Tuple| t.attrs().count() + 1;
+    let total: usize = tuples.iter().map(cost).sum();
+    let target = (total / (threads * 4)).max(1);
+    let mut groups = Vec::new();
+    let mut start = 0;
+    let mut acc = 0;
+    for (i, t) in tuples.iter().enumerate() {
+        acc += cost(t);
+        if acc >= target {
+            groups.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
         }
-        solution
-    })
+    }
+    if start < tuples.len() {
+        groups.push(start..tuples.len());
+    }
+    groups
 }
 
 /// The pre-PR-2 static path: split the batch into `threads` contiguous
@@ -219,6 +259,68 @@ mod tests {
         let batch = solve_batch(&ConsumeAttr, &log, &tuples, 2, 3);
         for sol in &batch {
             assert!(sol.retained.count() <= 2);
+        }
+    }
+
+    #[test]
+    fn plan_groups_is_an_ordered_partition() {
+        let tuples: Vec<Tuple> = (0..57)
+            .map(|i| Tuple::new(AttrSet::from_indices(10, [i % 10])))
+            .collect();
+        for threads in [1, 2, 4, 13] {
+            let groups = plan_groups(&tuples, threads);
+            assert!(!groups.is_empty());
+            let mut next = 0;
+            for g in &groups {
+                assert_eq!(g.start, next, "groups must tile the batch in order");
+                assert!(g.end > g.start, "no empty groups");
+                next = g.end;
+            }
+            assert_eq!(next, tuples.len());
+        }
+    }
+
+    #[test]
+    fn plan_groups_batches_small_and_isolates_wide() {
+        // 64 one-attribute tuples plus 2 full-width tuples, 4 threads:
+        // the tiny tuples must share tasks (fewer groups than tuples)
+        // and a wide tuple must close its group at once, so the group
+        // containing a wide tuple never extends past it.
+        let mut tuples: Vec<Tuple> = (0..32)
+            .map(|i| Tuple::new(AttrSet::from_indices(24, [i % 24])))
+            .collect();
+        tuples.push(Tuple::new(AttrSet::full(24)));
+        tuples.extend((0..32).map(|i| Tuple::new(AttrSet::from_indices(24, [i % 24]))));
+        tuples.push(Tuple::new(AttrSet::full(24)));
+        let groups = plan_groups(&tuples, 4);
+        assert!(
+            groups.len() < tuples.len(),
+            "small instances must batch: {} groups for {} tuples",
+            groups.len(),
+            tuples.len()
+        );
+        for (i, t) in tuples.iter().enumerate() {
+            if t.attrs().count() == 24 {
+                let g = groups.iter().find(|g| g.contains(&i)).unwrap();
+                assert_eq!(g.end, i + 1, "wide tuple at {i} must close its group");
+            }
+        }
+    }
+
+    #[test]
+    fn many_tiny_tuples_match_sequential() {
+        // The shape the grouping targets: a long stream of cheap
+        // instances. Results must still land slot-for-slot.
+        let (log, _) = setup();
+        let tuples: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::new(AttrSet::from_indices(6, [i % 6, (i / 6) % 6])))
+            .collect();
+        let batch = solve_batch(&BruteForce, &log, &tuples, 2, 3);
+        assert_eq!(batch.len(), tuples.len());
+        for (tuple, sol) in tuples.iter().zip(&batch) {
+            let seq = BruteForce.solve(&SocInstance::new(&log, tuple, 2));
+            assert_eq!(sol.retained, seq.retained);
+            assert_eq!(sol.satisfied, seq.satisfied);
         }
     }
 

@@ -305,8 +305,9 @@ impl QueryLog {
 
     /// Per-attribute frequency: `freq[j]` = total weight of queries
     /// specifying attribute `j`. This drives the `ConsumeAttr` greedy.
-    /// Read straight off the [`LogIndex`].
-    pub fn attribute_frequencies(&self) -> Vec<usize> {
+    /// Read straight off the [`LogIndex`] — a borrow, not a copy (the
+    /// index is cached on the log, so the slice lives as long as `self`).
+    pub fn attribute_frequencies(&self) -> &[usize] {
         self.index().attribute_frequencies()
     }
 

@@ -1,11 +1,14 @@
-//! Differential tests for the inverted bitmap index: every indexed
+//! Differential tests for the hybrid inverted index: every indexed
 //! counting kernel must agree *exactly* with the retained naive-scan
 //! implementation on randomized weighted logs — including deduplicated
 //! logs, empty logs, and universes wider than 128 attributes (which
 //! spill the bitset's inline two-word storage) — plus cache-validity
-//! tests for `clone` and `deduplicate`.
+//! tests for `clone` and `deduplicate`, and a density × weight sweep
+//! (uniform, Zipf-skewed, near-empty, near-full rows) that drives the
+//! sparse, dense, and mixed container paths through all three kernels
+//! against both the scan baselines and the dense-only build.
 
-use soc_data::{AttrSet, Query, QueryLog, Schema, Tuple};
+use soc_data::{AttrSet, LogIndex, Query, QueryLog, Schema, Tuple};
 use soc_rng::StdRng;
 use std::sync::Arc;
 
@@ -140,6 +143,249 @@ fn more_queries_than_one_bitmap_word() {
     for s in [64usize, 65, 128, 300] {
         let log = random_log(&mut rng, 12, s, 0.25, 2);
         assert_kernels_match(&mut rng, &log, 12);
+    }
+}
+
+/// A random weighted log with *per-attribute* densities, so individual
+/// rows can be forced sparse, dense, near-empty, or near-full.
+fn random_log_with_densities(
+    rng: &mut StdRng,
+    s: usize,
+    densities: &[f64],
+    max_w: usize,
+) -> QueryLog {
+    let universe = densities.len();
+    let queries: Vec<Query> = (0..s)
+        .map(|_| {
+            Query::new(AttrSet::from_indices(
+                universe,
+                (0..universe).filter(|&a| rng.random_bool(densities[a])),
+            ))
+        })
+        .collect();
+    let weights: Vec<usize> = (0..s).map(|_| rng.random_range(1..=max_w)).collect();
+    QueryLog::new_weighted(Arc::new(Schema::anonymous(universe)), queries, weights)
+}
+
+/// Asserts the hybrid build, the dense-only build, and the scan
+/// baselines agree on all three kernels (plus the disjunctive count and
+/// frequencies) over a batch of random operands.
+fn assert_hybrid_dense_scan_agree(rng: &mut StdRng, log: &QueryLog, probes: usize, label: &str) {
+    let universe = log.num_attrs();
+    let dense = LogIndex::build_dense(log);
+    assert_eq!(dense.sparse_rows(), 0, "{label}: dense build must be flat");
+    assert_eq!(
+        log.attribute_frequencies(),
+        dense.attribute_frequencies(),
+        "{label}: frequencies"
+    );
+    for _ in 0..probes {
+        let p = rng.random_range(0.05..0.9);
+        let items = random_set(rng, universe, p);
+        let t = Tuple::new(random_set(rng, universe, p));
+        let scan = log.satisfied_count_scan(&t);
+        assert_eq!(log.satisfied_count(&t), scan, "{label}: satisfied {t:?}");
+        assert_eq!(
+            dense.satisfied_count(&t),
+            scan,
+            "{label}: satisfied/dense {t:?}"
+        );
+        let scan = log.cooccurrence_count_scan(&items);
+        assert_eq!(
+            log.cooccurrence_count(&items),
+            scan,
+            "{label}: cooccurrence {items}"
+        );
+        assert_eq!(
+            dense.cooccurrence_count(&items),
+            scan,
+            "{label}: cooccurrence/dense {items}"
+        );
+        let scan = log.complement_support_scan(&items);
+        assert_eq!(
+            log.complement_support(&items),
+            scan,
+            "{label}: complement {items}"
+        );
+        assert_eq!(
+            dense.complement_support(&items),
+            scan,
+            "{label}: complement/dense {items}"
+        );
+        assert_eq!(
+            log.satisfied_count_disjunctive(&t),
+            log.satisfied_count_disjunctive_scan(&t),
+            "{label}: disjunctive {t:?}"
+        );
+    }
+}
+
+#[test]
+fn density_sweep_uniform_rows() {
+    // Uniform per-attribute density swept from near-empty (all rows
+    // sparse) through the container threshold to near-full (all rows
+    // dense), with unit and general weights.
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for &p in &[0.002, 0.008, 0.015625, 0.02, 0.05, 0.3, 0.9, 0.99] {
+        for max_w in [1usize, 7] {
+            let densities = vec![p; 24];
+            let log = random_log_with_densities(&mut rng, 400, &densities, max_w);
+            let label = format!("uniform p={p} max_w={max_w}");
+            assert_hybrid_dense_scan_agree(&mut rng, &log, 10, &label);
+        }
+    }
+}
+
+#[test]
+fn density_sweep_zipf_skewed_rows() {
+    // Zipf-skewed per-attribute densities: head attributes are dense,
+    // the tail is sparse — the workload shape the hybrid index targets.
+    // Both container types appear in one index and most random operand
+    // sets mix them.
+    let mut rng = StdRng::seed_from_u64(0x21FF);
+    for &exponent in &[1.5, 2.5] {
+        for max_w in [1usize, 5] {
+            let densities: Vec<f64> = (0..32)
+                .map(|rank| (0.8 / ((rank + 1) as f64).powf(exponent)).max(0.001))
+                .collect();
+            let log = random_log_with_densities(&mut rng, 600, &densities, max_w);
+            let idx = log.index();
+            assert!(
+                idx.sparse_rows() > 0 && idx.sparse_rows() < 32,
+                "zipf(exp={exponent}) must mix containers, got {} sparse of 32",
+                idx.sparse_rows()
+            );
+            let label = format!("zipf exp={exponent} max_w={max_w}");
+            assert_hybrid_dense_scan_agree(&mut rng, &log, 12, &label);
+        }
+    }
+}
+
+#[test]
+fn density_sweep_near_empty_and_near_full_rows() {
+    // Extremes in one universe: empty rows, singleton rows, all-ones
+    // rows, and rows missing a single query — tail-word masking and the
+    // full-word weighted-popcount shortcut both get exercised.
+    let mut rng = StdRng::seed_from_u64(0xF001);
+    for s in [65usize, 127, 200] {
+        for max_w in [1usize, 9] {
+            let universe = 8;
+            let queries: Vec<Query> = (0..s)
+                .map(|i| {
+                    Query::new(AttrSet::from_indices(
+                        universe,
+                        (0..universe).filter(|&a| match a {
+                            0 => false,      // empty row
+                            1 => i == s / 2, // singleton row
+                            2 => true,       // full row
+                            3 => i != s / 3, // full minus one
+                            _ => (i + a) % (a + 1) == 0,
+                        }),
+                    ))
+                })
+                .collect();
+            let weights: Vec<usize> = (0..s).map(|_| rng.random_range(1..=max_w)).collect();
+            let log =
+                QueryLog::new_weighted(Arc::new(Schema::anonymous(universe)), queries, weights);
+            let idx = log.index();
+            assert!(idx.is_sparse(0) && idx.is_sparse(1));
+            assert!(!idx.is_sparse(2) && !idx.is_sparse(3));
+            let label = format!("extremes s={s} max_w={max_w}");
+            assert_hybrid_dense_scan_agree(&mut rng, &log, 12, &label);
+        }
+    }
+}
+
+#[test]
+fn threshold_boundary_forces_both_containers_in_one_operand_set() {
+    // Rows with cardinalities straddling the strict `card * 64 < S`
+    // rule: at S = 320 the boundary is card 5 — card 4 goes sparse,
+    // card 5 dense. One operand set spanning the boundary drives the
+    // mixed sparse∧dense kernel paths.
+    let s = 320usize;
+    let universe = 4;
+    let queries: Vec<Query> = (0..s)
+        .map(|i| {
+            Query::new(AttrSet::from_indices(
+                universe,
+                (0..universe).filter(|&a| match a {
+                    0 => i < 4, // just under: sparse
+                    1 => i < 5, // exactly at: dense (strict inequality)
+                    2 => i < 6, // just over: dense
+                    _ => i % 2 == 0,
+                }),
+            ))
+        })
+        .collect();
+    let log = QueryLog::from_attr_sets(
+        universe,
+        queries.into_iter().map(|q| q.attrs().clone()).collect(),
+    );
+    let idx = log.index();
+    assert!(idx.is_sparse(0), "card 4 of 320 must be sparse");
+    assert!(
+        !idx.is_sparse(1),
+        "card 5 of 320 must be dense (boundary is strict)"
+    );
+    assert!(!idx.is_sparse(2));
+
+    let mut rng = StdRng::seed_from_u64(0xB0D1);
+    // The full operand set mixes one sparse and three dense rows; the
+    // pairs hit sparse∧dense and dense∧dense directly.
+    for probe in [
+        AttrSet::from_indices(universe, [0, 1]),
+        AttrSet::from_indices(universe, [0, 3]),
+        AttrSet::from_indices(universe, [1, 2]),
+        AttrSet::from_indices(universe, [0, 1, 2, 3]),
+    ] {
+        assert_eq!(
+            log.cooccurrence_count(&probe),
+            log.cooccurrence_count_scan(&probe),
+            "cooccurrence {probe}"
+        );
+        assert_eq!(
+            log.complement_support(&probe),
+            log.complement_support_scan(&probe),
+            "complement {probe}"
+        );
+    }
+    assert_hybrid_dense_scan_agree(&mut rng, &log, 10, "threshold boundary");
+}
+
+#[test]
+fn sparse_vs_sparse_galloping_sizes() {
+    // Two sparse rows with lopsided entry counts (1 : 8) push the
+    // sparse∧sparse intersection onto its galloping path; comparable
+    // counts take the linear merge. Both must match the scan.
+    let s = 4096usize;
+    let universe = 3;
+    let sets: Vec<AttrSet> = (0..s)
+        .map(|i| {
+            AttrSet::from_indices(
+                universe,
+                (0..universe).filter(|&a| match a {
+                    0 => i % 1024 == 0, // 4 ids
+                    1 => i % 16 == 0,   // 256 ids: 256 * 64 > 4096 — dense
+                    _ => i % 128 == 7,  // 32 ids, sparse
+                }),
+            )
+        })
+        .collect();
+    let log = QueryLog::from_attr_sets(universe, sets);
+    let idx = log.index();
+    assert!(idx.is_sparse(0) && idx.is_sparse(2));
+    assert!(!idx.is_sparse(1), "256 ids of 4096 sit above the 1/64 rule");
+    for probe in [
+        AttrSet::from_indices(universe, [0, 2]), // sparse ∧ sparse, gallop
+        AttrSet::from_indices(universe, [0, 1]), // sparse ∧ dense probe
+        AttrSet::from_indices(universe, [1, 2]),
+        AttrSet::from_indices(universe, [0, 1, 2]),
+    ] {
+        assert_eq!(
+            log.cooccurrence_count(&probe),
+            log.cooccurrence_count_scan(&probe),
+            "{probe}"
+        );
     }
 }
 

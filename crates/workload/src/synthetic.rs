@@ -160,7 +160,7 @@ mod tests {
             ..Default::default()
         });
         let top_share = |log: &soc_data::QueryLog| {
-            let mut f = log.attribute_frequencies();
+            let mut f = log.attribute_frequencies().to_vec();
             f.sort_unstable_by(|a, b| b.cmp(a));
             let total: usize = f.iter().sum();
             f[..4].iter().sum::<usize>() as f64 / total as f64

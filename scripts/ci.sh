@@ -18,6 +18,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> index differential suite (release: hybrid kernels bit-identical to scans)"
+cargo test -q --release --offline -p soc-data --test index_diff
+
+echo "==> hybrid index smoke bench (release: >=2x satisfied vs dense on skewed log, uniform within noise)"
+cargo test -q --release --offline -p soc-bench smoke_hybrid_index_beats_dense -- --ignored
+
 echo "==> solver smoke bench (release, budgeted node limit)"
 cargo test -q --release --offline -p soc-bench smoke_warm_solver_proves_within_node_budget -- --ignored
 
