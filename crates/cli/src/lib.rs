@@ -77,13 +77,16 @@ usage:
 
 algorithms: brute ilp mfi mfi-det attr cumul queries local (default: mfi)
 --project solves on the tuple-projected instance; --workers N mines MFIs
-with N threads (mfi only); --stats prints branch-and-bound counters
-(nodes, LP pivots, warm-start hit rate — ilp only); --metrics prints the
-process metric registry after solving (any algorithm); --trace-out writes
-tracing spans as JSON lines to PATH
+with N threads (mfi only; defaults to the host's available parallelism,
+and the solver degrades to serial mining when the host or the log is too
+small for threads to pay — pass --workers 1 to force serial); --stats
+prints branch-and-bound counters (nodes, LP pivots, warm-start hit rate —
+ilp only); --metrics prints the process metric registry after solving
+(any algorithm); --trace-out writes tracing spans as JSON lines to PATH
 
 serve runs the JSON-lines TCP service (see PROTOCOL.md); --port 0 (the
-default) binds an ephemeral port, announced on stdout";
+default) binds an ephemeral port, announced on stdout; --threads defaults
+to the host's available parallelism";
 
 /// Abstraction over the filesystem so tests can inject content.
 pub trait FileSource {
@@ -184,6 +187,12 @@ fn algorithm(name: &str) -> Result<Box<dyn SocAlgorithm>, CliError> {
     algorithm_with_workers(name, 1)
 }
 
+/// The host's available parallelism — the default for `--workers`
+/// (solve) and `--threads` (serve). Overridable by passing the flag.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
 fn algorithm_with_workers(name: &str, workers: usize) -> Result<Box<dyn SocAlgorithm>, CliError> {
     if workers == 0 {
         return Err(usage("--workers must be at least 1"));
@@ -267,10 +276,18 @@ fn cmd_solve(rest: &[String], files: &dyn FileSource) -> Result<String, CliError
     let workers = args
         .value("--workers")?
         .map(|s| parse_usize(s, "--workers"))
-        .transpose()?
-        .unwrap_or(1);
+        .transpose()?;
     let algo_name = args.value("--algo")?.unwrap_or("mfi");
-    let algo = algorithm_with_workers(algo_name, workers)?;
+    // Unset --workers defaults to the host parallelism for the one
+    // algorithm that can use it (the MFI solver's adaptive cost model
+    // still degrades to serial mining when threads would not pay);
+    // non-mfi algorithms keep their serial default rather than tripping
+    // the workers-is-mfi-only validation.
+    let algo = match workers {
+        Some(w) => algorithm_with_workers(algo_name, w)?,
+        None if algo_name == "mfi" => algorithm_with_workers(algo_name, host_parallelism())?,
+        None => algorithm(algo_name)?,
+    };
     if args.flag("--dedup") {
         log = log.deduplicate();
     }
@@ -542,7 +559,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
         .value("--threads")?
         .map(|s| parse_usize(s, "--threads"))
         .transpose()?
-        .unwrap_or(2);
+        .unwrap_or_else(host_parallelism);
     if threads == 0 {
         return Err(usage("--threads must be at least 1"));
     }

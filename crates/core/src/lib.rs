@@ -47,7 +47,7 @@ mod problem;
 mod reduce;
 pub mod variants;
 
-pub use batch::{solve_batch, solve_batch_chunked};
+pub use batch::{solve_batch, solve_batch_chunked, solve_batch_with, BatchPolicy};
 pub use brute_force::BruteForce;
 pub use greedy::{ConsumeAttr, ConsumeAttrCumul, ConsumeQueries};
 pub use ilp::IlpSolver;

@@ -59,12 +59,26 @@ pub struct MfiSolver {
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
     /// Worker threads for random-walk mining. `1` (the default) runs the
-    /// classic serial miner; larger values fan the walks out over a
-    /// [`soc_pool::Pool`] with per-worker RNG streams — still
-    /// deterministic, given `(seed, workers)`. Ignored by the
-    /// backtracking miner.
+    /// classic serial miner; larger values fan the walks out over scoped
+    /// threads with per-worker RNG streams and an asynchronous stream
+    /// merge — still deterministic, given `(seed, workers)`. Ignored by
+    /// the backtracking miner.
     pub workers: usize,
+    /// When true (the default), degrade `workers` to `1` whenever the
+    /// host has a single hardware thread or the log is too small
+    /// (`num_attrs × len` below [`PARALLEL_MINE_FLOOR`]) for thread
+    /// spawning to pay for itself. Set to `false` to force the
+    /// configured worker count regardless of host or workload — useful
+    /// for differential tests and the scaling grid.
+    pub adaptive: bool,
 }
+
+/// Below this estimated mining work (`log.num_attrs() × log.len()`), an
+/// adaptive [`MfiSolver`] mines serially no matter how many workers were
+/// configured: a walk over a narrow or short log completes in far less
+/// time than spawning threads costs. Tuned on the serving scaling grid
+/// (EXPERIMENTS.md).
+pub const PARALLEL_MINE_FLOOR: usize = 32_768;
 
 impl Default for MfiSolver {
     fn default() -> Self {
@@ -77,6 +91,7 @@ impl Default for MfiSolver {
             min_iterations: 64,
             seed: 0x5eed_50c0,
             workers: 1,
+            adaptive: true,
         }
     }
 }
@@ -112,6 +127,24 @@ impl MfiPreprocessed {
 }
 
 impl MfiSolver {
+    /// The worker count mining will actually use for `log`: the
+    /// configured `workers`, degraded to `1` by the adaptive cost model
+    /// when the host is single-threaded or the log is below
+    /// [`PARALLEL_MINE_FLOOR`].
+    pub fn effective_workers(&self, log: &QueryLog) -> usize {
+        let workers = self.workers.max(1);
+        if !self.adaptive || workers == 1 {
+            return workers;
+        }
+        if crate::batch::host_parallelism() == 1 {
+            return 1; // no second core to run a second walk stream
+        }
+        if log.num_attrs().saturating_mul(log.len()) < PARALLEL_MINE_FLOOR {
+            return 1; // mining finishes before thread spawning pays off
+        }
+        workers
+    }
+
     /// Mines the maximal frequent itemsets of `~Q` at `threshold`.
     pub fn mine(&self, log: &QueryLog, threshold: usize) -> Vec<FrequentItemset> {
         let oracle = ComplementedLog::new(log);
@@ -125,9 +158,9 @@ impl MfiSolver {
                     stop: self.stop,
                 });
                 let mine_seed = self.seed ^ threshold as u64;
-                if self.workers > 1 {
-                    let pool = soc_pool::Pool::new(self.workers);
-                    miner.mine_parallel(&oracle, mine_seed, &pool).itemsets
+                let workers = self.effective_workers(log);
+                if workers > 1 {
+                    miner.mine_parallel(&oracle, mine_seed, workers).itemsets
                 } else {
                     let mut rng = StdRng::seed_from_u64(mine_seed);
                     miner.mine(&oracle, &mut rng).itemsets
@@ -465,6 +498,7 @@ mod parallel_mining_tests {
             stop: soc_itemsets::StopRule::FixedIterations(1500),
             max_iterations: 2000,
             workers,
+            adaptive: false, // force the parallel path even on 1-core hosts
             ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(77);
@@ -492,6 +526,7 @@ mod parallel_mining_tests {
         for workers in [2, 4] {
             let solver = MfiSolver {
                 workers,
+                adaptive: false, // force the parallel path even on 1-core hosts
                 ..Default::default()
             };
             let a = solver.solve(&inst);
@@ -508,6 +543,7 @@ mod parallel_mining_tests {
         let inst = SocInstance::new(&log, &t, 3);
         let shared = SharedMfi::new(MfiSolver {
             workers: 3,
+            adaptive: false,
             ..Default::default()
         });
         shared.prime(&log);
@@ -515,6 +551,7 @@ mod parallel_mining_tests {
         let sol = shared.solve(&inst);
         let direct = MfiSolver {
             workers: 3,
+            adaptive: false,
             ..Default::default()
         }
         .solve(&inst);

@@ -16,7 +16,14 @@
 //!   common cheap-task case still amortizes queue locking);
 //! - a **per-worker deque** holding each worker's claimed batch; owners
 //!   pop from the front (preserving index locality), idle workers steal
-//!   the *back half* of a victim's deque;
+//!   the *back half* of a victim's deque in one locked batch;
+//! - **spin-then-park idling**: a worker that finds nothing to run or
+//!   steal yields for a few sweeps, then parks on a condvar. Producers
+//!   wake a parker when they publish stealable work (an injector batch
+//!   deposited into a deque, a steal redistribution) and the last
+//!   finishing task wakes everyone — so an idle worker costs a parked
+//!   thread, not a hot core, and the `pool.idle_ns` metric measures
+//!   true starvation instead of scheduler churn;
 //! - **deterministic result slots**: task `i` writes `f(i)` into slot
 //!   `i`, so the output order equals the input order and — for a pure
 //!   `f` — the result vector is bit-identical regardless of thread
@@ -45,14 +52,28 @@ pub use service::{Rejected, Service};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
-use soc_obs::{counter, gauge};
+use soc_obs::{counter, gauge, histogram};
 
 /// Largest number of tasks a worker claims from the injector at once.
 /// Bounds worst-case imbalance at the tail to `INJECTOR_BATCH_CAP − 1`
 /// tasks stuck behind a straggler before stealing kicks in.
 const INJECTOR_BATCH_CAP: usize = 32;
+
+/// Failed acquisition attempts (own deque + injector + full steal sweep)
+/// a worker burns through before parking. Spinning keeps the worker hot
+/// across the common sub-microsecond gaps between tasks; anything longer
+/// than a few sweeps means its peers are deep inside claimed tasks and
+/// yielding only wastes a core the running tasks could use.
+const SPIN_TRIES: usize = 16;
+
+/// Upper bound on one parked wait. Parkers are woken explicitly when new
+/// stealable work appears or the pool drains; the timeout is a backstop
+/// against the narrow publish/park races, not the primary wake path, so
+/// it can be generous without costing latency in the common case.
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
 
 /// A work-stealing thread pool of a fixed worker count.
 ///
@@ -119,9 +140,9 @@ impl Pool {
                     scope.spawn(move || {
                         while let Some(task) = queues.next_task(id) {
                             // Decrement happens in Drop so that an unwinding
-                            // task still releases its slot and peers spinning
-                            // on `remaining` can terminate.
-                            let _finish = Finish(&queues.remaining);
+                            // task still releases its slot and parked peers
+                            // waiting on `remaining` can terminate.
+                            let _finish = Finish(queues);
                             counter!("pool.tasks_executed").inc();
                             let value = f(task);
                             // Safety: `next_task` hands out each index exactly
@@ -155,16 +176,20 @@ impl Pool {
     }
 }
 
-/// Decrements the outstanding-task counter on drop (panic-safe).
-struct Finish<'a>(&'a AtomicUsize);
+/// Decrements the outstanding-task counter on drop (panic-safe). When
+/// the count reaches zero the pool is drained, so any parked peers are
+/// woken to observe termination.
+struct Finish<'a>(&'a Queues);
 
 impl Drop for Finish<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Release);
+        if self.0.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            self.0.wake_all();
+        }
     }
 }
 
-/// The injector + per-worker deques + termination counter.
+/// The injector + per-worker deques + termination counter + parking lot.
 struct Queues {
     /// Global FIFO of not-yet-claimed task indices.
     injector: Mutex<VecDeque<usize>>,
@@ -174,6 +199,15 @@ struct Queues {
     /// guard drops). Workers only exit once this reaches zero, because a
     /// task in flight proves no new work can appear afterwards.
     remaining: AtomicUsize,
+    /// Workers currently parked (or committed to parking). Producers only
+    /// touch the parking lot when this is non-zero, so the common
+    /// everyone-busy case pays one relaxed load per publish.
+    parked: AtomicUsize,
+    /// Parking lot: protects nothing but the wait itself; work visibility
+    /// is re-checked against the queues before sleeping and a timed wait
+    /// backstops the remaining publish/park races.
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
 }
 
 impl Queues {
@@ -182,15 +216,39 @@ impl Queues {
             injector: Mutex::new((0..n).collect()),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             remaining: AtomicUsize::new(n),
+            parked: AtomicUsize::new(0),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+        }
+    }
+
+    /// Wakes every parked worker. Called with no queue locks held.
+    fn wake_all(&self) {
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            // Taking and dropping the lot lock fences against a worker
+            // that has registered in `parked` but not yet begun waiting:
+            // it holds the lock between those two steps, so by the time
+            // we acquire it the worker is either asleep (and hears the
+            // notify) or has re-checked the queues.
+            drop(self.park_lock.lock().expect("park lock poisoned"));
+            self.park_cv.notify_all();
+        }
+    }
+
+    /// Wakes one parked worker after new stealable work was published.
+    fn wake_one(&self) {
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            drop(self.park_lock.lock().expect("park lock poisoned"));
+            self.park_cv.notify_one();
         }
     }
 
     /// The next task for `worker`, or `None` once all tasks finished.
-    /// Order: own deque front → injector batch → steal → spin-wait.
+    /// Order: own deque front → injector batch → steal → spin → park.
     fn next_task(&self, worker: usize) -> Option<usize> {
         // Idle accounting: the stopwatch starts at the first failed
         // acquisition attempt and stops when a task arrives (or the pool
-        // drains) — pure spin-wait time, not queue-lock time.
+        // drains) — spin and park time, not queue-lock time.
         let mut idle_since: Option<u64> = None;
         let credit_idle = |idle_since: Option<u64>| {
             if let Some(t0) = idle_since {
@@ -200,6 +258,7 @@ impl Queues {
                 ));
             }
         };
+        let mut spins = 0;
         loop {
             // Own-deque pop is a separate statement: its guard must drop
             // before `claim_from_injector`/`steal` re-lock local deques.
@@ -218,29 +277,70 @@ impl Queues {
             if idle_since.is_none() {
                 idle_since = soc_obs::metrics_then_now();
             }
-            // Peers still execute claimed tasks (which we cannot steal);
-            // yield until they finish or new steals open up.
-            std::thread::yield_now();
+            spins += 1;
+            if spins < SPIN_TRIES {
+                // Peers still execute claimed tasks (which we cannot
+                // steal); yield briefly in case one finishes right away.
+                std::thread::yield_now();
+                continue;
+            }
+            // Park: register, re-check for work that raced in between the
+            // failed steal sweep and here, then sleep until a producer
+            // publishes stealable work or the pool drains. The timed wait
+            // makes any residual race cost at most one PARK_TIMEOUT.
+            spins = 0;
+            let guard = self.park_lock.lock().expect("park lock poisoned");
+            self.parked.fetch_add(1, Ordering::SeqCst);
+            let racing_work = self.remaining.load(Ordering::Acquire) == 0
+                || !self.injector.lock().expect("injector poisoned").is_empty()
+                || (0..self.locals.len()).any(|v| !self.lock_local(v).is_empty());
+            if racing_work {
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+                continue; // drops `guard`
+            }
+            counter!("pool.parks").inc();
+            let (guard, timeout) = self
+                .park_cv
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .expect("park lock poisoned");
+            drop(guard);
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            if timeout.timed_out() {
+                counter!("pool.park_timeouts").inc();
+            } else {
+                counter!("pool.park_wakes").inc();
+            }
         }
     }
 
     /// Claims a guided-size batch from the injector: `1/(2·workers)` of
     /// what remains, clamped to `[1, INJECTOR_BATCH_CAP]`. The first task
-    /// is returned, the rest parked in the worker's own deque.
+    /// is returned, the rest deposited in the worker's own deque.
     fn claim_from_injector(&self, worker: usize) -> Option<usize> {
         let mut injector = self.injector.lock().expect("injector poisoned");
         let first = injector.pop_front()?;
         let batch = (injector.len() / (2 * self.locals.len())).clamp(1, INJECTOR_BATCH_CAP) - 1;
+        let mut deposited = 0;
         if batch > 0 {
             let mut local = self.lock_local(worker);
             for _ in 0..batch {
                 match injector.pop_front() {
-                    Some(t) => local.push_back(t),
+                    Some(t) => {
+                        local.push_back(t);
+                        deposited += 1;
+                    }
                     None => break,
                 }
             }
         }
         gauge!("pool.queue_depth").set(injector.len() as i64);
+        drop(injector);
+        if deposited > 0 {
+            // The deposit is stealable: hand a parked peer a chance at it.
+            // Called with both queue locks released, so a parker's
+            // re-check under the lot lock can never deadlock against us.
+            self.wake_one();
+        }
         Some(first)
     }
 
@@ -258,12 +358,18 @@ impl Queues {
             };
             if let Some(first) = stolen.pop() {
                 counter!("pool.tasks_stolen").add((stolen.len() + 1) as u64);
+                histogram!("pool.steal_batch").record((stolen.len() + 1) as u64);
                 // `stolen` was popped back-to-front, so the remaining
                 // entries are in descending index order; reverse to keep
                 // the thief scanning ascending indices like an owner.
+                let redistributed = !stolen.is_empty();
                 let mut local = self.lock_local(thief);
                 for t in stolen.into_iter().rev() {
                     local.push_back(t);
+                }
+                drop(local);
+                if redistributed {
+                    self.wake_one();
                 }
                 return Some(first);
             }
@@ -378,6 +484,22 @@ mod tests {
         });
         assert!(blocked.load(Ordering::SeqCst));
         assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn parked_workers_wake_and_finish() {
+        // One long task at the head starves the other workers after the
+        // short tail drains; they must park and still wake to terminate
+        // promptly when the straggler finishes (Finish -> wake_all).
+        for _ in 0..4 {
+            let out = Pool::new(3).map_indexed(12, |i| {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                i * 3
+            });
+            assert_eq!(out, (0..12).map(|i| i * 3).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! The degrade-to-serial contract of the work-stealing pool.
+//!
+//! A 1-thread pool has no victims to steal from and no peers to park
+//! behind: every task must execute on the single worker without a steal
+//! and without a parking wakeup. This lives in its own integration-test
+//! binary because the metric registry is process-global — the lib unit
+//! tests exercise multi-thread pools concurrently and would pollute the
+//! counters read here.
+
+use soc_obs::MetricValue;
+use soc_pool::Pool;
+
+fn counter(name: &str) -> u64 {
+    soc_obs::registry()
+        .snapshot()
+        .rows
+        .into_iter()
+        .find(|r| r.name == name)
+        .map_or(0, |r| match r.value {
+            MetricValue::Counter(v) => v,
+            other => panic!("{name} is not a counter: {other:?}"),
+        })
+}
+
+#[test]
+fn one_thread_pool_executes_with_zero_steals_and_no_parking() {
+    soc_obs::enable_metrics();
+    soc_obs::reset_metrics();
+
+    let pool = Pool::new(1);
+    let items: Vec<usize> = (0..64).collect();
+    for _ in 0..8 {
+        let out = pool.map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    assert_eq!(
+        counter("pool.tasks_stolen"),
+        0,
+        "a 1-thread pool has no victims — any steal is a scheduling bug"
+    );
+    assert_eq!(
+        counter("pool.park_wakes"),
+        0,
+        "the sole worker is never woken by a peer — any wake is a lost-wakeup \
+         hazard in disguise"
+    );
+    assert_eq!(
+        counter("pool.parks"),
+        0,
+        "the sole worker always finds work or finds the batch finished — it \
+         must never reach the park path"
+    );
+    // The degraded path runs the closure inline on the caller: it spawns
+    // no workers, so it never reports scheduler activity at all.
+    assert_eq!(
+        counter("pool.tasks_executed"),
+        0,
+        "a 1-thread map must run inline, not through the scheduler"
+    );
+}

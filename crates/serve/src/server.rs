@@ -52,7 +52,9 @@ pub struct ServerConfig {
     pub host: String,
     /// Bind port; 0 picks an ephemeral port.
     pub port: u16,
-    /// Solver worker threads.
+    /// Solver worker threads. Defaults to the host's available
+    /// parallelism; set explicitly (or pass `--threads` to `soc serve`)
+    /// to override.
     pub threads: usize,
     /// Connections served concurrently; arrivals beyond this get a
     /// `busy` error frame and are closed.
@@ -72,7 +74,7 @@ impl Default for ServerConfig {
         Self {
             host: "127.0.0.1".to_string(),
             port: 0,
-            threads: 2,
+            threads: std::thread::available_parallelism().map_or(2, std::num::NonZero::get),
             max_conns: 32,
             idle_timeout: Duration::from_secs(300),
             write_timeout: Duration::from_secs(10),

@@ -30,6 +30,12 @@ cargo test -q --release --offline -p soc-bench smoke_warm_solver_proves_within_n
 echo "==> observability overhead smoke (release, <=5% contract)"
 cargo test -q --release --offline -p soc-bench smoke_obs_overhead_within_contract -- --ignored
 
+echo "==> serving scheduler smoke (release: stealing within noise of chunked)"
+cargo test -q --release --offline -p soc-bench smoke_stealing_does_not_lose_to_static_chunking -- --ignored
+
+echo "==> parallelism perf gate (release: adaptive parallel config >= serial baseline, retried once; crossover recorded in BENCH_serving.json)"
+cargo test -q --release --offline -p soc-bench smoke_parallelism_pays_at_the_largest_workload -- --ignored --nocapture
+
 echo "==> soc-serve smoke (release: ephemeral port, hello/load/solve/stats/shutdown, clean exit)"
 cargo test -q --release --offline -p soc-cli --test serve_smoke -- --ignored
 
